@@ -1,0 +1,187 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables II-IV, Figs. 3-7) on the synthetic benchmark suite,
+// writing text tables to stdout, CSVs and images to -outdir.
+//
+// A full run over all eight benchmarks at the default scale takes a few
+// minutes; use -benchmarks and -frame-div to iterate faster.
+//
+// Usage:
+//
+//	experiments                      # everything, default scale
+//	experiments -benchmarks hcr,jjo  # a subset
+//	experiments -frame-div 10        # 10x shorter sequences
+//	experiments -outdir results      # also write CSV/PGM/PPM artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/megsim"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all)")
+		frameDiv   = flag.Int("frame-div", 1, "divide frame counts for faster runs")
+		outdir     = flag.String("outdir", "", "directory for CSV and image artifacts (optional)")
+		skipIV     = flag.Bool("skip-table4", false, "skip the random sub-sampling study (Table IV)")
+		ablations  = flag.String("ablations", "", "also run the methodology ablation table on this benchmark (e.g. bbr1)")
+		assi       = flag.String("assi", "", "also run the warm-vs-cold cache (ASSI) study on this benchmark")
+		presets    = flag.String("presets", "", "also compare GPU presets on this benchmark")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	opts.Scale.FrameDivisor = *frameDiv
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	study := harness.NewStudy(opts)
+	if *benchmarks != "" {
+		study.Aliases = strings.Split(*benchmarks, ",")
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	tables := []struct {
+		name string
+		fn   func() (*report.Table, error)
+	}{
+		{"table2", study.TableII},
+		{"table3", study.TableIII},
+		{"fig3", study.Fig3},
+		{"fig4", study.Fig4},
+		{"fig7", study.Fig7},
+		{"speedup", study.SpeedupTable},
+	}
+	for _, tb := range tables {
+		t, err := tb.fn()
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		writeCSV(*outdir, tb.name, t)
+	}
+
+	if !*skipIV {
+		t4, _, err := study.TableIV(harness.DefaultTableIVConfig())
+		if err != nil {
+			fatal(err)
+		}
+		if err := t4.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		writeCSV(*outdir, "table4", t4)
+	}
+
+	// Fig. 5/6: similarity matrix images for bbr1 (the paper's example),
+	// 900 frames as in Fig. 5.
+	if *outdir != "" && hasAlias(study, "bbr1") {
+		writeImage(*outdir, "fig5_bbr1.pgm", func(f *os.File) error { return study.Fig5("bbr1", 900, f) })
+		writeImage(*outdir, "fig6_bbr1.ppm", func(f *os.File) error { return study.Fig6("bbr1", 900, f) })
+	}
+
+	if *ablations != "" {
+		t, _, err := study.AblationTable(*ablations)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		writeCSV(*outdir, "ablations_"+*ablations, t)
+	}
+	if *assi != "" {
+		t, err := study.ASSIStudy(*assi, 500)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		writeCSV(*outdir, "assi_"+*assi, t)
+	}
+
+	if *presets != "" {
+		t, err := study.PresetTable(*presets)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		writeCSV(*outdir, "presets_"+*presets, t)
+	}
+
+	if g, err := study.GeoMeanReduction(); err == nil {
+		fmt.Printf("geometric-mean frame reduction: %.0fx\n", g)
+	}
+	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func hasAlias(s *harness.Study, alias string) bool {
+	if len(s.Aliases) == 0 {
+		for _, a := range megsim.Benchmarks() {
+			if a == alias {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range s.Aliases {
+		if a == alias {
+			return true
+		}
+	}
+	return false
+}
+
+func writeCSV(dir, name string, t *report.Table) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func writeImage(dir, name string, write func(*os.File) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command gpusim runs the cycle-level TBR GPU simulator over a trace
+// (from a file or generated on the fly) and prints the simulation
+// statistics — the expensive baseline that MEGsim accelerates.
+//
+// Usage:
+//
+//	gpusim -trace bbr1.trace            # simulate a saved trace
+//	gpusim -benchmark hcr               # generate + simulate
+//	gpusim -benchmark hcr -frames 0:100 # a frame range only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/power"
+	"repro/megsim"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file produced by tracegen")
+		benchmark = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
+		frames    = flag.String("frames", "", "frame range lo:hi (default: all)")
+		frameDiv  = flag.Int("frame-div", 1, "frame divisor when generating")
+		perFrame  = flag.Bool("per-frame", false, "print one line per frame")
+		tbdr      = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
+		csvPath   = flag.String("csv", "", "write per-frame statistics as CSV to this file")
+		watts     = flag.Bool("watts", false, "report estimated average power (1 energy unit = 1 pJ)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *benchmark, *frameDiv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+	lo, hi := 0, tr.NumFrames()
+	if *frames != "" {
+		if lo, hi, err = parseRange(*frames, tr.NumFrames()); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(2)
+		}
+	}
+
+	gpu := megsim.DefaultGPUConfig()
+	gpu.DeferredShading = *tbdr
+	sim, err := megsim.NewSimulator(gpu, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+	var total megsim.FrameStats
+	var series []megsim.FrameStats
+	start := time.Now()
+	for f := lo; f < hi; f++ {
+		st := sim.SimulateFrame(f)
+		if *perFrame {
+			fmt.Printf("frame %5d: cycles=%d dram=%d l2=%d tile=%d fragments=%d\n",
+				f, st.Cycles, st.DRAM.Accesses, st.L2.Accesses, st.TileCache.Accesses, st.FragmentsShaded)
+		}
+		if *csvPath != "" {
+			series = append(series, st)
+		}
+		total.Add(&st)
+	}
+	elapsed := time.Since(start)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteFrameStatsCSV(f, series); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	model := power.DefaultEnergyModel()
+	b := model.FrameEnergy(&total)
+	g, ti, ra := b.Fractions()
+
+	fmt.Printf("workload:          %s (%d frames simulated in %v)\n", tr.Name, hi-lo, elapsed.Round(time.Millisecond))
+	fmt.Printf("cycles:            %d (geometry %d, raster %d)\n", total.Cycles, total.GeometryCycles, total.RasterCycles)
+	fmt.Printf("ipc:               %.2f\n", total.IPC())
+	fmt.Printf("vertices shaded:   %d\n", total.VerticesShaded)
+	fmt.Printf("primitives:        %d in, %d visible\n", total.PrimsIn, total.PrimsVisible)
+	fmt.Printf("fragments shaded:  %d (%d occluded by early-Z)\n", total.FragmentsShaded, total.FragmentsOccluded)
+	fmt.Printf("dram accesses:     %d\n", total.DRAM.Accesses)
+	fmt.Printf("l2 accesses:       %d (%.1f%% hit)\n", total.L2.Accesses, total.L2.HitRate()*100)
+	fmt.Printf("tile cache:        %d accesses (%.1f%% hit)\n", total.TileCache.Accesses, total.TileCache.HitRate()*100)
+	fmt.Printf("texture caches:    %d accesses (%.1f%% hit)\n", total.TextureCache.Accesses, total.TextureCache.HitRate()*100)
+	fmt.Printf("utilization:       VP %.1f%%, FP %.1f%%\n",
+		total.VPUtilization(gpu.NumVertexProcessors)*100, total.FPUtilization(gpu.NumFragmentProcessors)*100)
+	fmt.Printf("power fractions:   geometry %.1f%%, tiling %.1f%%, raster %.1f%%\n", g*100, ti*100, ra*100)
+	if *watts {
+		w := power.AveragePowerWatts(b, total.Cycles, 1.0, 600)
+		fmt.Printf("avg power:         %.3f W (at 600 MHz, 1 pJ/unit)\n", w)
+	}
+}
+
+func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
+	switch {
+	case path != "" && benchmark != "":
+		return nil, fmt.Errorf("use either -trace or -benchmark, not both")
+	case path != "":
+		return megsim.LoadTrace(path)
+	case benchmark != "":
+		sc := megsim.DefaultScale()
+		sc.FrameDivisor = frameDiv
+		return megsim.GenerateBenchmark(benchmark, sc)
+	default:
+		return nil, fmt.Errorf("need -trace or -benchmark")
+	}
+}
+
+func parseRange(s string, n int) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want lo:hi)", s)
+	}
+	if lo, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	if hi, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		return 0, 0, fmt.Errorf("range %q out of [0,%d)", s, n)
+	}
+	return lo, hi, nil
+}

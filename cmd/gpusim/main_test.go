@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in      string
+		n       int
+		lo, hi  int
+		wantErr bool
+	}{
+		{"0:10", 100, 0, 10, false},
+		{"5:100", 100, 5, 100, false},
+		{"10:5", 100, 0, 0, true},
+		{"0:101", 100, 0, 0, true},
+		{"-1:5", 100, 0, 0, true},
+		{"abc", 100, 0, 0, true},
+		{"1:x", 100, 0, 0, true},
+		{"", 100, 0, 0, true},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseRange(c.in, c.n)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseRange(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRange(%q): %v", c.in, err)
+			continue
+		}
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("parseRange(%q) = %d:%d, want %d:%d", c.in, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestLoadTraceValidation(t *testing.T) {
+	if _, err := loadTrace("", "", 1); err == nil {
+		t.Fatal("accepted neither -trace nor -benchmark")
+	}
+	if _, err := loadTrace("a", "b", 1); err == nil {
+		t.Fatal("accepted both -trace and -benchmark")
+	}
+	if _, err := loadTrace("", "not-a-benchmark", 1); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}

@@ -1,0 +1,165 @@
+// Command megsim runs the MEGsim methodology end to end on one
+// workload: functional characterization, frame clustering, and
+// cycle-level simulation of only the representative frames, printing the
+// extrapolated full-sequence statistics. With -validate it additionally
+// simulates the whole sequence and reports the relative errors (the
+// paper's Fig. 7 evaluation for a single benchmark).
+//
+// Usage:
+//
+//	megsim -benchmark bbr1
+//	megsim -trace bbr1.trace -validate
+//	megsim -benchmark jjo -threshold 0.95 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/megsim"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file produced by tracegen")
+		benchmark = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
+		frameDiv  = flag.Int("frame-div", 1, "frame divisor when generating")
+		threshold = flag.Float64("threshold", 0.85, "BIC spread threshold T")
+		seed      = flag.Uint64("seed", 1, "k-means initialization seed")
+		validate  = flag.Bool("validate", false, "also run the full simulation and report relative errors")
+		tbdr      = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
+		jsonOut   = flag.Bool("json", false, "print machine-readable JSON instead of text")
+		saveSel   = flag.String("save-selection", "", "write the frame selection as JSON to this file")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *benchmark, *frameDiv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megsim:", err)
+		os.Exit(1)
+	}
+
+	cfg := megsim.DefaultConfig()
+	cfg.Search.Threshold = *threshold
+	cfg.Seed = *seed
+	gpu := megsim.DefaultGPUConfig()
+	gpu.DeferredShading = *tbdr
+
+	start := time.Now()
+	run, err := megsim.Sample(tr, cfg, gpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megsim:", err)
+		os.Exit(1)
+	}
+	sampledTime := time.Since(start)
+
+	if *saveSel != "" {
+		if err := writeSelection(*saveSel, tr.Name, run); err != nil {
+			fmt.Fprintln(os.Stderr, "megsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		printJSON(tr, run, sampledTime)
+		return
+	}
+
+	fmt.Printf("workload:        %s (%d frames)\n", tr.Name, tr.NumFrames())
+	fmt.Printf("clusters:        %d (explored k=1..%d)\n", run.Selection.Clusters.K, len(run.Selection.BICScores))
+	fmt.Printf("representatives: %v\n", run.Representatives())
+	fmt.Printf("reduction:       %.0fx fewer frames\n", run.ReductionFactor())
+	fmt.Printf("sampled run:     %v total\n", sampledTime.Round(time.Millisecond))
+	fmt.Println()
+	fmt.Printf("estimated cycles:      %d\n", run.Estimate.Cycles)
+	fmt.Printf("estimated dram:        %d\n", run.Estimate.DRAM.Accesses)
+	fmt.Printf("estimated l2:          %d\n", run.Estimate.L2.Accesses)
+	fmt.Printf("estimated tile cache:  %d\n", run.Estimate.TileCache.Accesses)
+
+	if *validate {
+		fmt.Println()
+		fmt.Println("validating against full simulation...")
+		start = time.Now()
+		full, err := megsim.SimulateFull(tr, gpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megsim:", err)
+			os.Exit(1)
+		}
+		fullTime := time.Since(start)
+		actual := megsim.SumStats(full)
+		acc := megsim.CompareAccuracy(&run.Estimate, &actual)
+		fmt.Printf("full simulation:  %v (%.0fx slower than the sampled run)\n",
+			fullTime.Round(time.Millisecond), float64(fullTime)/float64(sampledTime))
+		for _, m := range core.Metrics() {
+			fmt.Printf("relative error %-22s %.2f%%\n", m.String()+":", acc.Percent(m))
+		}
+	}
+}
+
+func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
+	switch {
+	case path != "" && benchmark != "":
+		return nil, fmt.Errorf("use either -trace or -benchmark, not both")
+	case path != "":
+		return megsim.LoadTrace(path)
+	case benchmark != "":
+		sc := megsim.DefaultScale()
+		sc.FrameDivisor = frameDiv
+		return megsim.GenerateBenchmark(benchmark, sc)
+	default:
+		return nil, fmt.Errorf("need -trace or -benchmark")
+	}
+}
+
+// printJSON emits a machine-readable run summary.
+func printJSON(tr *megsim.Trace, run *megsim.Run, sampled time.Duration) {
+	out := struct {
+		Workload        string  `json:"workload"`
+		Frames          int     `json:"frames"`
+		Clusters        int     `json:"clusters"`
+		Representatives []int   `json:"representatives"`
+		Reduction       float64 `json:"reduction_factor"`
+		SampledMillis   int64   `json:"sampled_run_ms"`
+		Cycles          uint64  `json:"estimated_cycles"`
+		DRAMAccesses    uint64  `json:"estimated_dram_accesses"`
+		L2Accesses      uint64  `json:"estimated_l2_accesses"`
+		TileAccesses    uint64  `json:"estimated_tile_cache_accesses"`
+	}{
+		Workload:        tr.Name,
+		Frames:          tr.NumFrames(),
+		Clusters:        run.Selection.Clusters.K,
+		Representatives: run.Representatives(),
+		Reduction:       run.ReductionFactor(),
+		SampledMillis:   sampled.Milliseconds(),
+		Cycles:          run.Estimate.Cycles,
+		DRAMAccesses:    run.Estimate.DRAM.Accesses,
+		L2Accesses:      run.Estimate.L2.Accesses,
+		TileAccesses:    run.Estimate.TileCache.Accesses,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "megsim:", err)
+		os.Exit(1)
+	}
+}
+
+// writeSelection persists the selection so later runs (e.g. a design-
+// space sweep on another machine) can re-simulate the representatives
+// without redoing characterization.
+func writeSelection(path, workload string, run *megsim.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sum := harness.NewSelectionSummary(workload, run.Selection, false)
+	if err := sum.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

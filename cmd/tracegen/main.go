@@ -1,0 +1,56 @@
+// Command tracegen synthesizes a benchmark workload trace and writes it
+// to a file, playing the role of TEAPOT's OpenGL trace generator.
+//
+// Usage:
+//
+//	tracegen -benchmark bbr1 -out bbr1.trace [-width 320 -height 160]
+//	         [-frame-div 1] [-detail-div 1] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/megsim"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "benchmark alias (see -list)")
+		out       = flag.String("out", "", "output trace file")
+		width     = flag.Int("width", 320, "render target width in pixels")
+		height    = flag.Int("height", 160, "render target height in pixels")
+		frameDiv  = flag.Int("frame-div", 1, "divide the Table II frame count by this factor")
+		detailDiv = flag.Int("detail-div", 1, "divide per-frame instance counts by this factor")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available benchmarks (Table II of the paper):")
+		for _, a := range megsim.Benchmarks() {
+			p, _ := megsim.GetBenchmark(a)
+			fmt.Printf("  %-5s %-22s %s, %d frames, %d VS, %d FS\n",
+				a, p.Title, p.Type, p.Frames, p.NumVS, p.NumFS)
+		}
+		return
+	}
+	if *benchmark == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracegen -benchmark <alias> -out <file> (or -list)")
+		os.Exit(2)
+	}
+
+	sc := megsim.Scale{Width: *width, Height: *height, FrameDivisor: *frameDiv, DetailDivisor: *detailDiv}
+	tr, err := megsim.GenerateBenchmark(*benchmark, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := tr.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d frames, %d primitives, %d vertex shaders, %d fragment shaders\n",
+		*out, tr.NumFrames(), tr.TotalPrimitives(), len(tr.VertexShaders), len(tr.FragmentShaders))
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "MEGsim: A Novel
+// Methodology for Efficient Simulation of Graphics Workloads in GPUs"
+// (Ortiz, Corbalán-Navarro, Aragón, González — ISPASS 2022).
+//
+// The public API lives in repro/megsim; the substrates (TBR GPU timing
+// simulator, functional simulator, workload synthesizer, clustering,
+// power model) live under internal/. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package repro

@@ -1,0 +1,66 @@
+// Render frame: rasterize sample frames of the synthetic benchmarks to
+// PNG images so the workloads can be inspected visually — layers,
+// overdraw, animation, 2D vs 3D structure.
+//
+//	go run ./examples/render_frame            # bbr1 and jjo, 3 frames each
+//	go run ./examples/render_frame asp 2000   # one specific frame
+package main
+
+import (
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/funcsim"
+	"repro/megsim"
+)
+
+func main() {
+	type job struct {
+		alias  string
+		frames []int
+	}
+	var jobs []job
+	switch {
+	case len(os.Args) >= 3:
+		f, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad frame %q: %v", os.Args[2], err)
+		}
+		jobs = []job{{os.Args[1], []int{f}}}
+	case len(os.Args) == 2:
+		jobs = []job{{os.Args[1], nil}}
+	default:
+		jobs = []job{{"bbr1", nil}, {"jjo", nil}}
+	}
+
+	for _, j := range jobs {
+		trace, err := megsim.GenerateBenchmark(j.alias, megsim.DefaultScale())
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames := j.frames
+		if frames == nil {
+			n := trace.NumFrames()
+			frames = []int{n / 10, n / 2, n * 9 / 10} // menu-ish, gameplay, late
+		}
+		for _, f := range frames {
+			img, err := funcsim.RenderFrame(trace, f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := fmt.Sprintf("frame_%s_%04d.png", j.alias, f)
+			out, err := os.Create(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := png.Encode(out, img); err != nil {
+				log.Fatal(err)
+			}
+			out.Close()
+			fmt.Printf("wrote %s (%dx%d)\n", name, img.Bounds().Dx(), img.Bounds().Dy())
+		}
+	}
+}

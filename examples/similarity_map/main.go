@@ -1,0 +1,84 @@
+// Similarity map: reproduce Fig. 5 and Fig. 6 of the paper for any
+// benchmark — the frame similarity matrix as a grayscale PGM image, and
+// the same matrix with the chosen k-means clusters drawn along the
+// diagonal as a color PPM image.
+//
+//	go run ./examples/similarity_map            # bbr1, 900 frames
+//	go run ./examples/similarity_map asp 500
+//
+// View the results with any image viewer that reads PGM/PPM.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/megsim"
+)
+
+func main() {
+	alias := "bbr1"
+	frames := 900 // Fig. 5 analyzes 900 bbr frames
+	if len(os.Args) > 1 {
+		alias = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad frame count %q: %v", os.Args[2], err)
+		}
+		frames = n
+	}
+
+	trace := megsim.MustGenerateBenchmark(alias, megsim.DefaultScale())
+	ch, err := megsim.Characterize(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := megsim.SelectFrames(ch, megsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d frames, %d clusters\n", alias, trace.NumFrames(), sel.Clusters.K)
+
+	m := megsim.SimilarityMatrix(sel.Features)
+	if frames > m.N() {
+		frames = m.N()
+	}
+
+	// Fig. 5: plain similarity matrix over the first `frames` frames.
+	// (Rebuild over the truncated window so the gray scale matches the
+	// window's own distance range, as the paper's figure does.)
+	window := sel.Features.Vectors[:frames]
+	sub := megsim.SimilarityMatrix(&megsim.FeatureSet{
+		Vectors: window,
+		NumVS:   sel.Features.NumVS,
+		NumFS:   sel.Features.NumFS,
+		HasPrim: sel.Features.HasPrim,
+	})
+	fig5 := fmt.Sprintf("fig5_%s.pgm", alias)
+	f, err := os.Create(fig5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sub.WritePGM(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s (%dx%d, darker = more similar)\n", fig5, frames, frames)
+
+	// Fig. 6: clusters along the diagonal.
+	fig6 := fmt.Sprintf("fig6_%s.ppm", alias)
+	f, err = os.Create(fig6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	band := frames/100 + 1
+	if err := sub.WritePPM(f, sel.Clusters.Assign[:frames], band); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s (cluster colors on the diagonal)\n", fig6)
+}

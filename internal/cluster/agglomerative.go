@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/xmath/linalg"
+)
+
+// maxAgglomerativePoints bounds the O(n^2) distance matrix of the
+// agglomerative path (4096 points = 128 MiB of float64 distances).
+const maxAgglomerativePoints = 4096
+
+// Agglomerative performs bottom-up hierarchical clustering with Ward
+// linkage until k clusters remain, returning the same Result shape as
+// KMeans (centroids are cluster means). It exists as a methodological
+// comparator for the paper's k-means choice: Ward minimizes the same
+// within-cluster-variance objective greedily and deterministically (no
+// seeding), at O(n^2 log n) time and O(n^2) memory.
+//
+// It panics on invalid k/data (matching KMeans) and returns an error
+// only for inputs exceeding the documented size bound.
+func Agglomerative(data [][]float64, k int) (Result, error) {
+	n := len(data)
+	if n == 0 {
+		panic("cluster: Agglomerative on empty dataset")
+	}
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("cluster: k=%d out of range [1,%d]", k, n))
+	}
+	d := len(data[0])
+	for i, row := range data {
+		if len(row) != d {
+			panic(fmt.Sprintf("cluster: row %d has %d dims, want %d", i, len(row), d))
+		}
+	}
+	if n > maxAgglomerativePoints {
+		return Result{}, fmt.Errorf("cluster: %d points exceed the agglomerative bound of %d", n, maxAgglomerativePoints)
+	}
+
+	// Active cluster state: sums, sizes, member roots (union-find-ish
+	// via parent links resolved at the end).
+	type clusterState struct {
+		sum   []float64
+		size  int
+		alive bool
+	}
+	states := make([]clusterState, n)
+	parent := make([]int, n)
+	for i := range states {
+		states[i] = clusterState{sum: clone(data[i]), size: 1, alive: true}
+		parent[i] = i
+	}
+
+	// Ward distance between clusters a, b:
+	//   (|a||b| / (|a|+|b|)) * ||mean(a) - mean(b)||^2
+	ward := func(a, b int) float64 {
+		sa, sb := &states[a], &states[b]
+		na, nb := float64(sa.size), float64(sb.size)
+		dist := 0.0
+		for j := 0; j < d; j++ {
+			diff := sa.sum[j]/na - sb.sum[j]/nb
+			dist += diff * diff
+		}
+		return na * nb / (na + nb) * dist
+	}
+
+	// Lazy-deletion heap of candidate merges.
+	h := &mergeHeap{}
+	version := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			heap.Push(h, merge{cost: ward(i, j), a: i, b: j, va: 0, vb: 0})
+		}
+	}
+
+	remaining := n
+	for remaining > k && h.Len() > 0 {
+		m := heap.Pop(h).(*merge)
+		if !states[m.a].alive || !states[m.b].alive ||
+			version[m.a] != m.va || version[m.b] != m.vb {
+			continue // stale candidate
+		}
+		// Merge b into a.
+		sa, sb := &states[m.a], &states[m.b]
+		for j := 0; j < d; j++ {
+			sa.sum[j] += sb.sum[j]
+		}
+		sa.size += sb.size
+		sb.alive = false
+		parent[m.b] = m.a
+		version[m.a]++
+		remaining--
+		// Push fresh candidates against every other live cluster.
+		for o := 0; o < n; o++ {
+			if o == m.a || !states[o].alive {
+				continue
+			}
+			a, b := m.a, o
+			heap.Push(h, merge{cost: ward(a, b), a: a, b: b, va: version[a], vb: version[b]})
+		}
+	}
+
+	// Resolve final assignments.
+	root := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	rootToCluster := make(map[int]int)
+	res := Result{K: remaining}
+	res.Assign = make([]int, n)
+	for i := 0; i < n; i++ {
+		r := root(i)
+		c, ok := rootToCluster[r]
+		if !ok {
+			c = len(rootToCluster)
+			rootToCluster[r] = c
+		}
+		res.Assign[i] = c
+	}
+	res.Sizes = make([]int, res.K)
+	res.Centroids = make([][]float64, res.K)
+	for r, c := range rootToCluster {
+		st := &states[r]
+		centroid := make([]float64, d)
+		for j := 0; j < d; j++ {
+			centroid[j] = st.sum[j] / float64(st.size)
+		}
+		res.Centroids[c] = centroid
+		res.Sizes[c] = st.size
+	}
+	for i, x := range data {
+		res.WCSS += linalg.SquaredDistance(x, res.Centroids[res.Assign[i]])
+	}
+	return res, nil
+}
+
+// merge is a candidate cluster merge with version stamps for lazy
+// deletion.
+type merge struct {
+	cost   float64
+	a, b   int
+	va, vb int
+}
+
+type mergeHeap []*merge
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, toMerge(x)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+func toMerge(x any) *merge {
+	switch v := x.(type) {
+	case *merge:
+		return v
+	case merge:
+		return &v
+	default:
+		panic(fmt.Sprintf("cluster: bad heap element %T", x))
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/funcsim"
+	"repro/internal/xmath/linalg"
+	"repro/internal/xmath/stats"
+)
+
+// Correlation is the result of the Section III-B correlation study: how
+// well each characterization group predicts a target simulation metric
+// (the paper uses total cycles, Fig. 3).
+type Correlation struct {
+	// VSCV and FSCV are coefficients of multiple correlation (R, the
+	// square root of Eq. 2's R^2) between the weighted shader count
+	// vectors and the target.
+	VSCV float64
+	FSCV float64
+	// Prim is the Pearson correlation between the PRIM column and the
+	// target (Eq. 1; it is one-dimensional).
+	Prim float64
+}
+
+// CorrelationStudy reproduces the Fig. 3 study for one benchmark: the
+// per-frame target metric (typically cycles) is correlated against the
+// three characterization groups built from the functional profiles.
+func CorrelationStudy(res *funcsim.Result, target []float64) (Correlation, error) {
+	if len(target) != len(res.Profiles) {
+		return Correlation{}, fmt.Errorf("core: target has %d entries for %d frames", len(target), len(res.Profiles))
+	}
+	if len(target) < 3 {
+		return Correlation{}, fmt.Errorf("core: need at least 3 frames for a correlation study")
+	}
+	// Build unweighted (but instruction- and texture-weighted) per-shader
+	// columns; normalization is irrelevant to correlation coefficients.
+	cfg := DefaultFeatureConfig()
+	cfg.Weights = PhaseWeights{Geometry: 1, Raster: 1, Tiling: 1}
+	fs, err := BuildFeatures(res, cfg)
+	if err != nil {
+		return Correlation{}, err
+	}
+
+	var out Correlation
+	vsCols := columns(fs.Vectors, 0, fs.NumVS)
+	r2, err := linalg.MultipleCorrelation(vsCols, target)
+	if err != nil {
+		return Correlation{}, fmt.Errorf("core: VSCV correlation: %w", err)
+	}
+	out.VSCV = math.Sqrt(r2)
+
+	fsCols := columns(fs.Vectors, fs.NumVS, fs.NumVS+fs.NumFS)
+	r2, err = linalg.MultipleCorrelation(fsCols, target)
+	if err != nil {
+		return Correlation{}, fmt.Errorf("core: FSCV correlation: %w", err)
+	}
+	out.FSCV = math.Sqrt(r2)
+
+	prim := make([]float64, len(res.Profiles))
+	for i := range res.Profiles {
+		prim[i] = float64(res.Profiles[i].PrimsVisible)
+	}
+	out.Prim = stats.Pearson(prim, target)
+	return out, nil
+}
+
+func columns(vectors [][]float64, lo, hi int) [][]float64 {
+	cols := make([][]float64, hi-lo)
+	for c := range cols {
+		col := make([]float64, len(vectors))
+		for f, row := range vectors {
+			col[f] = row[lo+c]
+		}
+		cols[c] = col
+	}
+	return cols
+}

@@ -1,0 +1,205 @@
+// Package funcsim is the functional GPU simulator: it executes a trace's
+// command stream — transforming geometry, binning, rasterizing and
+// depth-testing exactly like the timing simulator, and functionally
+// executing shader programs — but models no timing at all. Its output is
+// the per-frame activity profile MEGsim characterizes frames with:
+// per-shader execution counts (VSCV/FSCV) and primitive counts (PRIM).
+//
+// This mirrors TEAPOT's instrumented-Softpipe functional component: the
+// characterization inputs are architecture-independent and cheap to
+// collect (Section III-B of the paper), so running the functional
+// simulator over the full sequence is the inexpensive first step of the
+// methodology.
+package funcsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gltrace"
+	"repro/internal/raster"
+	"repro/internal/shader"
+)
+
+// FrameProfile is the raw per-frame activity measurement. The MEGsim
+// core turns these into weighted vectors of characteristics.
+type FrameProfile struct {
+	// Frame is the frame index.
+	Frame int
+	// VSCount[i] is the number of invocations of vertex shader i
+	// (vertices shaded under that program).
+	VSCount []uint64
+	// FSCount[i] is the number of invocations of fragment shader i
+	// (fragments shaded after the early depth test).
+	FSCount []uint64
+	// PrimsIn and PrimsVisible count primitives before and after
+	// clipping/culling; PrimsVisible is the PRIM characterization
+	// parameter (the Tiling Engine's workload).
+	PrimsIn      uint64
+	PrimsVisible uint64
+	// Fragments is the total shaded fragment count.
+	Fragments uint64
+	// Checksum is a deterministic digest of functional shader outputs,
+	// usable to verify that two runs rendered identical frames.
+	Checksum uint64
+}
+
+// Result is the functional simulation of a whole trace.
+type Result struct {
+	// Trace identifies the simulated workload.
+	Trace string
+	// Profiles has one entry per frame.
+	Profiles []FrameProfile
+	// VSStatic and FSStatic are the per-program static costs
+	// (instruction counts and texture weights) collected during the
+	// same pass, as the paper's first step does.
+	VSStatic []shader.Cost
+	FSStatic []shader.Cost
+}
+
+// proceduralSampler returns deterministic texel values derived from the
+// texture id and coordinates, so functional execution has real data
+// without texture images.
+type proceduralSampler struct {
+	tex int
+}
+
+func (p proceduralSampler) Sample(unit int, u, v float64, f shader.FilterMode) float64 {
+	x := math.Sin(u*12.9898+v*78.233+float64(p.tex)*3.7+float64(unit)) * 43758.5453
+	return x - math.Floor(x)
+}
+
+// Run functionally simulates every frame of the trace. The trace must
+// validate.
+func Run(trace *gltrace.Trace) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Trace: trace.Name}
+	for _, p := range trace.VertexShaders {
+		res.VSStatic = append(res.VSStatic, p.StaticCost())
+	}
+	for _, p := range trace.FragmentShaders {
+		res.FSStatic = append(res.FSStatic, p.StaticCost())
+	}
+
+	vp := trace.Viewport
+	depth := raster.NewDepthBuffer(vp.Width, vp.Height)
+	clip := geom.AABB2{Max: geom.Vec2{X: float64(vp.Width), Y: float64(vp.Height)}}
+	var triBuf []raster.ScreenTriangle
+
+	res.Profiles = make([]FrameProfile, trace.NumFrames())
+	for f := range trace.Frames {
+		prof := &res.Profiles[f]
+		prof.Frame = f
+		prof.VSCount = make([]uint64, len(trace.VertexShaders))
+		prof.FSCount = make([]uint64, len(trace.FragmentShaders))
+		depth.Clear()
+
+		curVS, curFS := -1, -1
+		curTex := 0
+		for ci := range trace.Frames[f].Commands {
+			cmd := &trace.Frames[f].Commands[ci]
+			switch cmd.Op {
+			case gltrace.CmdBindProgram:
+				curVS, curFS = cmd.VS, cmd.FS
+			case gltrace.CmdBindTexture:
+				if cmd.Unit == 0 {
+					curTex = cmd.Texture
+				}
+			case gltrace.CmdClear:
+				depth.Clear()
+			case gltrace.CmdDraw:
+				mesh := &trace.Meshes[cmd.Mesh]
+				prof.VSCount[curVS] += uint64(len(mesh.Vertices))
+
+				// Functionally execute the bound programs once per
+				// draw with draw-derived inputs; lock-step warps make
+				// all invocations of a draw structurally identical, so
+				// one execution yields the per-draw functional digest.
+				vsOut := trace.VertexShaders[curVS].Exec(shader.Regs{
+					cmd.MVP[3], cmd.MVP[7], cmd.MVP[11], cmd.DepthBias,
+				}, nil)
+				fsOut := trace.FragmentShaders[curFS].Exec(shader.Regs{
+					cmd.MVP[3], cmd.MVP[7], 0.5, 0.5,
+				}, proceduralSampler{tex: curTex})
+				prof.Checksum = mixChecksum(prof.Checksum, vsOut.Regs, fsOut.Regs)
+
+				triBuf = triBuf[:0]
+				tris, gstats := raster.ProcessDraw(mesh, cmd.MVP, vp, cmd.DepthBias, triBuf)
+				triBuf = tris
+				prof.PrimsIn += uint64(gstats.PrimsIn)
+				prof.PrimsVisible += uint64(gstats.Visible)
+
+				blend := cmd.Blend
+				for t := range tris {
+					raster.RasterizeQuads(&tris[t], clip, func(q *raster.Quad) {
+						var surviving uint8
+						if blend {
+							// Transparent fragments are depth-tested
+							// but never write depth.
+							surviving = depth.TestQuadReadOnly(q)
+						} else {
+							surviving = depth.TestQuad(q)
+						}
+						if surviving == 0 {
+							return
+						}
+						q.Mask = surviving
+						n := uint64(q.Coverage())
+						prof.FSCount[curFS] += n
+						prof.Fragments += n
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func mixChecksum(sum uint64, regSets ...shader.Regs) uint64 {
+	for _, regs := range regSets {
+		for _, r := range regs {
+			bits := math.Float64bits(r)
+			sum ^= bits + 0x9e3779b97f4a7c15 + (sum << 6) + (sum >> 2)
+		}
+	}
+	return sum
+}
+
+// TotalInvocations returns the summed shader invocation counts of a
+// profile (vertex + fragment), a coarse per-frame activity scalar.
+func (p *FrameProfile) TotalInvocations() uint64 {
+	var n uint64
+	for _, c := range p.VSCount {
+		n += c
+	}
+	for _, c := range p.FSCount {
+		n += c
+	}
+	return n
+}
+
+// Validate checks internal consistency of a result against its trace.
+func (r *Result) Validate(trace *gltrace.Trace) error {
+	if r.Trace != trace.Name {
+		return fmt.Errorf("funcsim: result for %q validated against trace %q", r.Trace, trace.Name)
+	}
+	if len(r.Profiles) != trace.NumFrames() {
+		return fmt.Errorf("funcsim: %d profiles for %d frames", len(r.Profiles), trace.NumFrames())
+	}
+	for i := range r.Profiles {
+		p := &r.Profiles[i]
+		if p.Frame != i {
+			return fmt.Errorf("funcsim: profile %d has frame index %d", i, p.Frame)
+		}
+		if len(p.VSCount) != len(trace.VertexShaders) || len(p.FSCount) != len(trace.FragmentShaders) {
+			return fmt.Errorf("funcsim: profile %d has wrong vector lengths", i)
+		}
+		if p.PrimsVisible > p.PrimsIn {
+			return fmt.Errorf("funcsim: profile %d has more visible than submitted primitives", i)
+		}
+	}
+	return nil
+}

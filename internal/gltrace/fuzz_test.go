@@ -1,0 +1,34 @@
+package gltrace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gltrace"
+)
+
+// FuzzLoad feeds arbitrary bytes to the trace loader: it must reject
+// garbage with an error, never panic, and anything it accepts must
+// validate.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte("garbage"))
+	f.Add([]byte{0x1f, 0x8b}) // gzip magic, truncated
+	var valid bytes.Buffer
+	tr := buildTestTrace(f)
+	if err := tr.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := gltrace.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Load returned invalid trace: %v", err)
+		}
+	})
+}

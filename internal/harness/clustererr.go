@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/xmath/stats"
+)
+
+// ClusterErrorRow describes one cluster's contribution to the estimation
+// error of a metric.
+type ClusterErrorRow struct {
+	Cluster        int
+	Size           int
+	Representative int
+	// ActualMean and RepValue compare the cluster's true per-frame
+	// metric mean against the representative's value.
+	ActualMean float64
+	RepValue   float64
+	// Contribution is the cluster's signed share of the total estimation
+	// error (estimate - actual), in metric units.
+	Contribution float64
+}
+
+// ClusterErrorTable breaks the cycles-estimation error of a benchmark
+// down by cluster: which clusters' representatives misrepresent their
+// members, and by how much. A diagnosis tool for clustering quality —
+// large contributions flag clusters that mix dissimilar frames.
+func (s *Study) ClusterErrorTable(alias string, topN int) (*report.Table, []ClusterErrorRow, error) {
+	r, err := s.Result(alias)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := r.Selection
+	k := sel.Clusters.K
+	rows := make([]ClusterErrorRow, k)
+	for c := 0; c < k; c++ {
+		rows[c] = ClusterErrorRow{Cluster: c, Size: sel.Clusters.Sizes[c], Representative: sel.Representatives[c]}
+	}
+	for f := 0; f < sel.NumFrames(); f++ {
+		c := sel.ClusterOf(f)
+		rows[c].ActualMean += float64(r.Full[f].Cycles)
+	}
+	for c := range rows {
+		if rows[c].Size > 0 {
+			rows[c].ActualMean /= float64(rows[c].Size)
+		}
+		rows[c].RepValue = float64(r.Full[rows[c].Representative].Cycles)
+		rows[c].Contribution = (rows[c].RepValue - rows[c].ActualMean) * float64(rows[c].Size)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return abs64(rows[i].Contribution) > abs64(rows[j].Contribution)
+	})
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+
+	total := float64(r.FullTotals.Cycles)
+	t := report.NewTable(
+		fmt.Sprintf("Per-cluster cycles error on %s (signed share of total error)", alias),
+		"cluster", "size", "rep-frame", "rep-vs-mean(%)", "error-share(%)")
+	for _, row := range rows {
+		t.AddRow(row.Cluster, row.Size, row.Representative,
+			stats.RelativeError(row.RepValue, row.ActualMean)*100,
+			row.Contribution/total*100)
+	}
+	return t, rows, nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+func TestWriteFrameStatsCSV(t *testing.T) {
+	r, err := Run(workload.Profiles["hcr"], TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrameStatsCSV(&buf, r.Full[:5]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want header + 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "frame,cycles,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestSelectionSummaryRoundTrip(t *testing.T) {
+	r, err := Run(workload.Profiles["jjo"], TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := NewSelectionSummary("jjo", r.Selection, true)
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSelectionSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "jjo" || got.Clusters != r.Selection.Clusters.K {
+		t.Fatalf("round trip mangled summary: %+v", got)
+	}
+	if len(got.Assignment) != r.Selection.NumFrames() {
+		t.Fatal("assignment lost")
+	}
+
+	// Estimating from the summary must reproduce the live estimate.
+	repStats := make(map[int]tbr.FrameStats, len(got.Representatives))
+	for _, f := range got.Representatives {
+		repStats[f] = r.Full[f]
+	}
+	est, err := EstimateFromSummary(got, repStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles != r.Estimate.Cycles || est.DRAM.Accesses != r.Estimate.DRAM.Accesses {
+		t.Fatalf("summary estimate %d differs from live estimate %d", est.Cycles, r.Estimate.Cycles)
+	}
+}
+
+func TestReadSelectionSummaryRejectsCorruption(t *testing.T) {
+	r, err := Run(workload.Profiles["hcr"], TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewSelectionSummary("hcr", r.Selection, false)
+
+	mutations := map[string]func(*SelectionSummary){
+		"cluster count": func(s *SelectionSummary) { s.Clusters++ },
+		"sizes sum":     func(s *SelectionSummary) { s.ClusterSizes[0] += 5 },
+		"empty cluster": func(s *SelectionSummary) { s.ClusterSizes[0] = 0 },
+		"rep range":     func(s *SelectionSummary) { s.Representatives[0] = s.Frames + 1 },
+	}
+	for name, mutate := range mutations {
+		s := base
+		s.Representatives = append([]int(nil), base.Representatives...)
+		s.ClusterSizes = append([]int(nil), base.ClusterSizes...)
+		mutate(&s)
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSelectionSummary(&buf); err == nil {
+			t.Errorf("%s: corrupted summary accepted", name)
+		}
+	}
+	if _, err := ReadSelectionSummary(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	b := Breakdown{Geometry: 10, Tiling: 15, Raster: 75}
+	g, ti, r := b.Fractions()
+	if math.Abs(g+ti+r-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", g+ti+r)
+	}
+	if g != 0.1 || ti != 0.15 || r != 0.75 {
+		t.Fatalf("fractions %v/%v/%v", g, ti, r)
+	}
+}
+
+func TestZeroBreakdown(t *testing.T) {
+	g, ti, r := (Breakdown{}).Fractions()
+	if g != 0 || ti != 0 || r != 0 {
+		t.Fatal("zero breakdown should have zero fractions")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Breakdown{Geometry: 1, Tiling: 2, Raster: 3}
+	a.Add(Breakdown{Geometry: 10, Tiling: 20, Raster: 30})
+	if a.Geometry != 11 || a.Tiling != 22 || a.Raster != 33 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestFrameEnergyPositiveAndRasterDominant(t *testing.T) {
+	// On a real gameplay frame the raster phase must dominate energy —
+	// the observation Fig. 4 rests on (74.5% average in the paper).
+	tr := workload.MustGenerate(workload.Profiles["bbr1"], workload.TestScale)
+	sim, err := tbr.New(tbr.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultEnergyModel()
+	var total Breakdown
+	for f := tr.NumFrames() / 2; f < tr.NumFrames()/2+10; f++ {
+		st := sim.SimulateFrame(f)
+		b := m.FrameEnergy(&st)
+		if b.Geometry <= 0 || b.Tiling <= 0 || b.Raster <= 0 {
+			t.Fatalf("frame %d: non-positive phase energy %+v", f, b)
+		}
+		total.Add(b)
+	}
+	g, ti, r := total.Fractions()
+	if r < 0.5 {
+		t.Fatalf("raster fraction %.3f not dominant (geom %.3f, tiling %.3f)", r, g, ti)
+	}
+	if g <= 0 || ti <= 0 {
+		t.Fatalf("degenerate fractions: %.3f/%.3f/%.3f", g, ti, r)
+	}
+}
+
+func TestSequenceEnergyEqualsSumOfFrames(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"], workload.TestScale)
+	sim, err := tbr.New(tbr.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []tbr.FrameStats{sim.SimulateFrame(0), sim.SimulateFrame(1), sim.SimulateFrame(2)}
+	m := DefaultEnergyModel()
+	seq := m.SequenceEnergy(frames)
+	var manual Breakdown
+	for i := range frames {
+		manual.Add(m.FrameEnergy(&frames[i]))
+	}
+	if math.Abs(seq.Total()-manual.Total()) > 1e-9 {
+		t.Fatalf("sequence %v != sum %v", seq.Total(), manual.Total())
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	m := DefaultEnergyModel()
+	small := tbr.FrameStats{QuadsRasterized: 100, FSInstrs: 1000}
+	big := tbr.FrameStats{QuadsRasterized: 1000, FSInstrs: 10000}
+	if m.FrameEnergy(&big).Raster <= m.FrameEnergy(&small).Raster {
+		t.Fatal("energy must grow with activity")
+	}
+}
+
+func TestAveragePowerWatts(t *testing.T) {
+	b := Breakdown{Raster: 1e6}
+	// 1e6 units x 100 pJ = 1e8 pJ = 1e-4 J over 600k cycles at 600 MHz
+	// (1 ms) = 0.1 W.
+	w := AveragePowerWatts(b, 600_000, 100, 600)
+	if math.Abs(w-0.1) > 1e-9 {
+		t.Fatalf("power = %v W, want 0.1", w)
+	}
+	if AveragePowerWatts(b, 0, 100, 600) != 0 {
+		t.Fatal("zero cycles should give zero power")
+	}
+}

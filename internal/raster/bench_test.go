@@ -1,0 +1,46 @@
+package raster
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+)
+
+func BenchmarkProcessDrawSphere(b *testing.B) {
+	mesh := scene.Sphere("s", 6, 8)
+	vp := geom.Viewport{Width: 320, Height: 160}
+	mvp := geom.Perspective(1.0, 2.0, 0.1, 100).
+		Mul(geom.Translate(geom.Vec3{Z: -3}))
+	buf := make([]ScreenTriangle, 0, mesh.TriangleCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = ProcessDraw(&mesh, mvp, vp, 0, buf)
+	}
+}
+
+func BenchmarkRasterizeQuads64(b *testing.B) {
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0.5), v3(64, 4, 0.5), v3(8, 64, 0.5)}},
+		UV:  [3]geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}},
+	}
+	clip := geom.AABB2{Max: geom.Vec2{X: 64, Y: 64}}
+	b.ResetTimer()
+	quads := 0
+	for i := 0; i < b.N; i++ {
+		RasterizeQuads(&tri, clip, func(q *Quad) { quads++ })
+	}
+	if quads == 0 {
+		b.Fatal("no quads")
+	}
+}
+
+func BenchmarkDepthTestQuad(b *testing.B) {
+	d := NewDepthBuffer(64, 64)
+	q := Quad{X: 30, Y: 30, Mask: 0b1111, Depth: [4]float64{0.5, 0.5, 0.5, 0.5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TestQuad(&q)
+	}
+}

@@ -1,0 +1,253 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+)
+
+var testVP = geom.Viewport{Width: 64, Height: 64}
+
+func fullscreenClip() geom.AABB2 {
+	return geom.AABB2{Max: geom.Vec2{X: 64, Y: 64}}
+}
+
+func TestProcessDrawIdentityQuad(t *testing.T) {
+	// An identity-transformed unit quad maps to the middle quarter of
+	// NDC and must survive with 2 visible triangles.
+	q := scene.Quad("q")
+	tris, st := ProcessDraw(&q, geom.IdentityMat4(), testVP, 0, nil)
+	if st.Visible != 2 || len(tris) != 2 {
+		t.Fatalf("visible = %d (stats %+v)", len(tris), st)
+	}
+	if st.VerticesIn != 4 || st.PrimsIn != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestProcessDrawRejectsBehindCamera(t *testing.T) {
+	q := scene.Quad("q")
+	// Push the quad behind the camera with a perspective projection.
+	proj := geom.Perspective(math.Pi/3, 1, 0.1, 100)
+	mvp := proj.Mul(geom.Translate(geom.Vec3{Z: 5})) // +Z is behind
+	_, st := ProcessDraw(&q, mvp, testVP, 0, nil)
+	if st.Visible != 0 || st.Rejected != 2 {
+		t.Fatalf("stats %+v, want all rejected", st)
+	}
+}
+
+func TestProcessDrawRejectsOffscreen(t *testing.T) {
+	q := scene.Quad("q")
+	mvp := geom.Translate(geom.Vec3{X: 10}) // NDC x ~ 10: far off right
+	_, st := ProcessDraw(&q, mvp, testVP, 0, nil)
+	if st.Visible != 0 {
+		t.Fatalf("stats %+v, want none visible", st)
+	}
+}
+
+func TestProcessDrawCullsDegenerate(t *testing.T) {
+	q := scene.Quad("q")
+	mvp := geom.ScaleXYZ(geom.Vec3{X: 0, Y: 1, Z: 1}) // collapse X
+	_, st := ProcessDraw(&q, mvp, testVP, 0, nil)
+	if st.Degenerate != 2 {
+		t.Fatalf("stats %+v, want 2 degenerate", st)
+	}
+}
+
+func TestProcessDrawDepthBias(t *testing.T) {
+	q := scene.Quad("q")
+	tris, _ := ProcessDraw(&q, geom.IdentityMat4(), testVP, 0.25, nil)
+	for _, tr := range tris {
+		for _, v := range tr.Tri.V {
+			if math.Abs(v.Z-0.75) > 1e-9 { // base depth 0.5 + bias
+				t.Fatalf("depth = %v, want 0.75", v.Z)
+			}
+		}
+	}
+}
+
+func TestRasterizeQuadsFullCoverage(t *testing.T) {
+	// A triangle covering the whole left-lower half of a 16x16 region.
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0.5), v3(16, 0, 0.5), v3(0, 16, 0.5)}},
+	}
+	fragments := 0
+	quads := 0
+	RasterizeQuads(&tri, geom.AABB2{Max: geom.Vec2{X: 16, Y: 16}}, func(q *Quad) {
+		quads++
+		fragments += q.Coverage()
+	})
+	// Half of 256 pixels ~ 128; allow boundary slack.
+	if fragments < 110 || fragments > 140 {
+		t.Fatalf("fragments = %d, want ~128", fragments)
+	}
+	if quads == 0 || quads > 64 {
+		t.Fatalf("quads = %d", quads)
+	}
+}
+
+func TestRasterizeQuadsClipRestricts(t *testing.T) {
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0), v3(64, 0, 0), v3(0, 64, 0)}},
+	}
+	count := func(clip geom.AABB2) int {
+		n := 0
+		RasterizeQuads(&tri, clip, func(q *Quad) { n += q.Coverage() })
+		return n
+	}
+	full := count(geom.AABB2{Max: geom.Vec2{X: 64, Y: 64}})
+	tile := count(geom.AABB2{Min: geom.Vec2{X: 0, Y: 0}, Max: geom.Vec2{X: 32, Y: 32}})
+	if tile >= full || tile == 0 {
+		t.Fatalf("tile coverage %d vs full %d", tile, full)
+	}
+}
+
+func TestRasterizeQuadsTilePartitionExact(t *testing.T) {
+	// Rasterizing per 16px tile must reproduce exactly the full-screen
+	// fragment count: the per-tile union partitions coverage.
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(3, 5, 0), v3(61, 17, 0), v3(22, 59, 0)}},
+	}
+	full := 0
+	RasterizeQuads(&tri, fullscreenClip(), func(q *Quad) { full += q.Coverage() })
+	tiled := 0
+	for ty := 0; ty < 4; ty++ {
+		for tx := 0; tx < 4; tx++ {
+			clip := geom.AABB2{
+				Min: geom.Vec2{X: float64(tx * 16), Y: float64(ty * 16)},
+				Max: geom.Vec2{X: float64(tx*16 + 16), Y: float64(ty*16 + 16)},
+			}
+			RasterizeQuads(&tri, clip, func(q *Quad) { tiled += q.Coverage() })
+		}
+	}
+	if full == 0 || tiled != full {
+		t.Fatalf("tiled = %d, full = %d", tiled, full)
+	}
+}
+
+func TestRasterizeQuadsOutsideClip(t *testing.T) {
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(100, 100, 0), v3(110, 100, 0), v3(100, 110, 0)}},
+	}
+	n := 0
+	RasterizeQuads(&tri, fullscreenClip(), func(*Quad) { n++ })
+	if n != 0 {
+		t.Fatalf("quads outside clip = %d", n)
+	}
+}
+
+func TestQuadCoverage(t *testing.T) {
+	q := Quad{Mask: 0b1011}
+	if q.Coverage() != 3 {
+		t.Fatalf("Coverage = %d, want 3", q.Coverage())
+	}
+}
+
+func TestQuadUVInterpolation(t *testing.T) {
+	tri := ScreenTriangle{
+		Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0), v3(32, 0, 0), v3(0, 32, 0)}},
+		UV:  [3]geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}},
+	}
+	RasterizeQuads(&tri, fullscreenClip(), func(q *Quad) {
+		wantU := (float64(q.X) + 1) / 32
+		wantV := (float64(q.Y) + 1) / 32
+		if math.Abs(q.U-wantU) > 1e-9 || math.Abs(q.V-wantV) > 1e-9 {
+			t.Fatalf("quad (%d,%d) UV = (%v,%v), want (%v,%v)", q.X, q.Y, q.U, q.V, wantU, wantV)
+		}
+	})
+}
+
+func TestDepthBufferBasics(t *testing.T) {
+	d := NewDepthBuffer(4, 4)
+	if !d.TestAndSet(1, 1, 0.5) {
+		t.Fatal("first write should pass")
+	}
+	if d.TestAndSet(1, 1, 0.7) {
+		t.Fatal("farther fragment should fail")
+	}
+	if !d.TestAndSet(1, 1, 0.3) {
+		t.Fatal("nearer fragment should pass")
+	}
+	if d.TestAndSet(-1, 0, 0.1) || d.TestAndSet(4, 0, 0.1) {
+		t.Fatal("out-of-bounds should fail")
+	}
+	d.Clear()
+	if !d.TestAndSet(1, 1, 0.9) {
+		t.Fatal("after Clear any depth should pass")
+	}
+}
+
+func TestDepthBufferTestQuad(t *testing.T) {
+	d := NewDepthBuffer(4, 4)
+	q := Quad{X: 0, Y: 0, Mask: 0b1111, Depth: [4]float64{0.5, 0.5, 0.5, 0.5}}
+	if got := d.TestQuad(&q); got != 0b1111 {
+		t.Fatalf("first quad mask = %b", got)
+	}
+	// Same quad again: fully occluded.
+	if got := d.TestQuad(&q); got != 0 {
+		t.Fatalf("occluded quad mask = %b", got)
+	}
+	// Nearer on two samples only.
+	q2 := Quad{X: 0, Y: 0, Mask: 0b0011, Depth: [4]float64{0.2, 0.2}}
+	if got := d.TestQuad(&q2); got != 0b0011 {
+		t.Fatalf("partial quad mask = %b", got)
+	}
+}
+
+func TestOverdrawOrderMatters(t *testing.T) {
+	// Front-to-back: second (farther) surface fully occluded.
+	d := NewDepthBuffer(16, 16)
+	near := ScreenTriangle{Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0.2), v3(16, 0, 0.2), v3(0, 16, 0.2)}}}
+	far := ScreenTriangle{Tri: geom.Triangle2{V: [3]geom.Vec3{v3(0, 0, 0.8), v3(16, 0, 0.8), v3(0, 16, 0.8)}}}
+	shaded := 0
+	clip := geom.AABB2{Max: geom.Vec2{X: 16, Y: 16}}
+	for _, tri := range []*ScreenTriangle{&near, &far} {
+		RasterizeQuads(tri, clip, func(q *Quad) {
+			m := *q
+			m.Mask = d.TestQuad(q)
+			shaded += m.Coverage()
+		})
+	}
+	firstOnly := 0
+	RasterizeQuads(&near, clip, func(q *Quad) { firstOnly += q.Coverage() })
+	if shaded != firstOnly {
+		t.Fatalf("shaded %d, want %d (far surface should be fully culled)", shaded, firstOnly)
+	}
+}
+
+func TestProcessDrawAppendReusesSlice(t *testing.T) {
+	q := scene.Quad("q")
+	buf := make([]ScreenTriangle, 0, 16)
+	tris, _ := ProcessDraw(&q, geom.IdentityMat4(), testVP, 0, buf)
+	if len(tris) != 2 {
+		t.Fatalf("len = %d", len(tris))
+	}
+	if &tris[0] != &buf[:1][0] {
+		t.Fatal("output did not reuse provided backing array")
+	}
+}
+
+func TestProcessDrawLargeMeshCounts(t *testing.T) {
+	g := scene.Sphere("s", 6, 8)
+	mvp := geom.Orthographic(-1, 1, -1, 1, -2, 2)
+	tris, st := ProcessDraw(&g, mvp, testVP, 0, nil)
+	if st.PrimsIn != g.TriangleCount() {
+		t.Fatalf("PrimsIn = %d, want %d", st.PrimsIn, g.TriangleCount())
+	}
+	if st.Visible+st.Rejected+st.Degenerate != st.PrimsIn {
+		t.Fatalf("stats don't partition: %+v", st)
+	}
+	if len(tris) != st.Visible {
+		t.Fatalf("len(tris) = %d, Visible = %d", len(tris), st.Visible)
+	}
+	if st.Visible == 0 {
+		t.Fatal("sphere should be visible")
+	}
+}
+
+// v3 builds a geom.Vec3 from screen-space x, y and depth z.
+func v3(x, y, z float64) geom.Vec3 {
+	return geom.Vec3{X: x, Y: y, Z: z}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tbl := NewTable("Title", "name", "value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 123456)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// The value column must start at the same offset in both data rows.
+	if strings.Index(lines[3], "1") < len("a-much-longer-name") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(3.14159)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.14") || strings.Contains(buf.String(), "3.14159") {
+		t.Fatalf("float not trimmed: %q", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("ignored", "a", "b")
+	tbl.AddRow("x,y", 2)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "x;y,2" {
+		t.Fatalf("row = %q (commas must be sanitized)", lines[1])
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tbl := NewTable("", "a")
+	if tbl.NumRows() != 0 {
+		t.Fatal("new table not empty")
+	}
+	tbl.AddRow(1)
+	tbl.AddRow(2)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}

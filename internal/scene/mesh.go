@@ -1,0 +1,161 @@
+// Package scene provides the procedural geometry and camera machinery
+// used to synthesize game-like workloads: parametric meshes (quads,
+// grids, boxes, spheres), camera path models and object animation
+// helpers. Workload generators compose these into per-frame command
+// streams.
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gltrace"
+)
+
+// Quad returns a unit quad in the XY plane, centered at the origin,
+// made of two triangles. The standard sprite/UI mesh.
+func Quad(name string) gltrace.Mesh {
+	return gltrace.Mesh{
+		Name: name,
+		Vertices: []gltrace.Vertex{
+			{Pos: geom.Vec3{X: -0.5, Y: -0.5}, U: 0, V: 0},
+			{Pos: geom.Vec3{X: 0.5, Y: -0.5}, U: 1, V: 0},
+			{Pos: geom.Vec3{X: 0.5, Y: 0.5}, U: 1, V: 1},
+			{Pos: geom.Vec3{X: -0.5, Y: 0.5}, U: 0, V: 1},
+		},
+		Indices: []int{0, 1, 2, 0, 2, 3},
+	}
+}
+
+// Grid returns an nx x nz grid of quads in the XZ plane spanning
+// [-0.5, 0.5]^2, with per-vertex height from heightFn (may be nil for a
+// flat grid). The standard terrain/road mesh: (nx*nz*2) triangles.
+func Grid(name string, nx, nz int, heightFn func(x, z float64) float64) gltrace.Mesh {
+	if nx < 1 || nz < 1 {
+		panic(fmt.Sprintf("scene: Grid needs positive dimensions, got %dx%d", nx, nz))
+	}
+	m := gltrace.Mesh{Name: name}
+	for iz := 0; iz <= nz; iz++ {
+		for ix := 0; ix <= nx; ix++ {
+			x := float64(ix)/float64(nx) - 0.5
+			z := float64(iz)/float64(nz) - 0.5
+			y := 0.0
+			if heightFn != nil {
+				y = heightFn(x, z)
+			}
+			m.Vertices = append(m.Vertices, gltrace.Vertex{
+				Pos: geom.Vec3{X: x, Y: y, Z: z},
+				U:   float64(ix) / float64(nx),
+				V:   float64(iz) / float64(nz),
+			})
+		}
+	}
+	stride := nx + 1
+	for iz := 0; iz < nz; iz++ {
+		for ix := 0; ix < nx; ix++ {
+			a := iz*stride + ix
+			b := a + 1
+			c := a + stride
+			d := c + 1
+			m.Indices = append(m.Indices, a, b, d, a, d, c)
+		}
+	}
+	return m
+}
+
+// Box returns a unit cube centered at the origin: 12 triangles.
+func Box(name string) gltrace.Mesh {
+	// 8 corners; UVs are reused across faces (footprint is what matters).
+	corners := []geom.Vec3{
+		{X: -0.5, Y: -0.5, Z: -0.5}, {X: 0.5, Y: -0.5, Z: -0.5},
+		{X: 0.5, Y: 0.5, Z: -0.5}, {X: -0.5, Y: 0.5, Z: -0.5},
+		{X: -0.5, Y: -0.5, Z: 0.5}, {X: 0.5, Y: -0.5, Z: 0.5},
+		{X: 0.5, Y: 0.5, Z: 0.5}, {X: -0.5, Y: 0.5, Z: 0.5},
+	}
+	m := gltrace.Mesh{Name: name}
+	for i, c := range corners {
+		m.Vertices = append(m.Vertices, gltrace.Vertex{
+			Pos: c,
+			U:   float64(i % 2),
+			V:   float64((i / 2) % 2),
+		})
+	}
+	m.Indices = []int{
+		0, 1, 2, 0, 2, 3, // back
+		4, 6, 5, 4, 7, 6, // front
+		0, 4, 5, 0, 5, 1, // bottom
+		3, 2, 6, 3, 6, 7, // top
+		0, 3, 7, 0, 7, 4, // left
+		1, 5, 6, 1, 6, 2, // right
+	}
+	return m
+}
+
+// Sphere returns a UV sphere with the given number of rings and segments:
+// 2*rings*segments triangles (minus degenerate pole quads collapsed to
+// triangles kept as-is for simplicity).
+func Sphere(name string, rings, segments int) gltrace.Mesh {
+	if rings < 2 || segments < 3 {
+		panic(fmt.Sprintf("scene: Sphere needs rings>=2 segments>=3, got %d/%d", rings, segments))
+	}
+	m := gltrace.Mesh{Name: name}
+	for r := 0; r <= rings; r++ {
+		phi := math.Pi * float64(r) / float64(rings)
+		for s := 0; s <= segments; s++ {
+			theta := 2 * math.Pi * float64(s) / float64(segments)
+			m.Vertices = append(m.Vertices, gltrace.Vertex{
+				Pos: geom.Vec3{
+					X: 0.5 * math.Sin(phi) * math.Cos(theta),
+					Y: 0.5 * math.Cos(phi),
+					Z: 0.5 * math.Sin(phi) * math.Sin(theta),
+				},
+				U: float64(s) / float64(segments),
+				V: float64(r) / float64(rings),
+			})
+		}
+	}
+	stride := segments + 1
+	for r := 0; r < rings; r++ {
+		for s := 0; s < segments; s++ {
+			a := r*stride + s
+			b := a + 1
+			c := a + stride
+			d := c + 1
+			m.Indices = append(m.Indices, a, b, d, a, d, c)
+		}
+	}
+	return m
+}
+
+// RoadStrip returns a long, narrow grid used as a racing-track segment:
+// length segments of 2 quads each, slightly curved by curvature.
+func RoadStrip(name string, segments int, curvature float64) gltrace.Mesh {
+	if segments < 1 {
+		panic("scene: RoadStrip needs at least one segment")
+	}
+	m := gltrace.Mesh{Name: name}
+	for i := 0; i <= segments; i++ {
+		t := float64(i) / float64(segments)
+		bend := curvature * math.Sin(t*math.Pi)
+		for side := 0; side <= 2; side++ {
+			x := (float64(side)/2 - 0.5) * 0.3
+			m.Vertices = append(m.Vertices, gltrace.Vertex{
+				Pos: geom.Vec3{X: x + bend, Y: 0, Z: t - 0.5},
+				U:   float64(side) / 2,
+				V:   t * float64(segments) / 4,
+			})
+		}
+	}
+	for i := 0; i < segments; i++ {
+		base := i * 3
+		for q := 0; q < 2; q++ {
+			a := base + q
+			b := a + 1
+			c := a + 3
+			d := c + 1
+			m.Indices = append(m.Indices, a, b, d, a, d, c)
+		}
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+package tbr_test
+
+import (
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+// deferredPair simulates the same frames under TBR and TBDR configs.
+func deferredPair(t *testing.T, alias string, n int) (imm, def tbr.FrameStats) {
+	t.Helper()
+	tr := workload.MustGenerate(workload.Profiles[alias], workload.TestScale)
+
+	immCfg := tbr.DefaultConfig()
+	defCfg := tbr.DefaultConfig()
+	defCfg.DeferredShading = true
+
+	simI, err := tbr.New(immCfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simD, err := tbr.New(defCfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := tr.NumFrames() / 2
+	for f := start; f < start+n; f++ {
+		a := simI.SimulateFrame(f)
+		b := simD.SimulateFrame(f)
+		imm.Add(&a)
+		def.Add(&b)
+	}
+	return imm, def
+}
+
+func TestDeferredShadingNeverShadesMore(t *testing.T) {
+	for _, alias := range []string{"bbr1", "jjo"} {
+		imm, def := deferredPair(t, alias, 6)
+		if def.FragmentsShaded > imm.FragmentsShaded {
+			t.Fatalf("%s: TBDR shaded more fragments (%d) than TBR (%d)",
+				alias, def.FragmentsShaded, imm.FragmentsShaded)
+		}
+		// Rasterization work is identical: HSR changes shading, not
+		// coverage.
+		if def.QuadsRasterized != imm.QuadsRasterized {
+			t.Fatalf("%s: quad counts differ: %d vs %d", alias, def.QuadsRasterized, imm.QuadsRasterized)
+		}
+		if def.PrimsVisible != imm.PrimsVisible || def.TileEntries != imm.TileEntries {
+			t.Fatalf("%s: geometry/tiling work differs", alias)
+		}
+	}
+}
+
+func TestDeferredShadingRemovesOverdrawShading(t *testing.T) {
+	// 3D scenes have overdraw that early-Z alone cannot remove (back-to-
+	// front submission order); HSR must shade strictly fewer fragments.
+	imm, def := deferredPair(t, "bbr1", 8)
+	if imm.FragmentsShaded == 0 {
+		t.Fatal("no shading at all")
+	}
+	if def.FragmentsShaded >= imm.FragmentsShaded {
+		t.Fatalf("HSR did not remove any overdraw: %d vs %d",
+			def.FragmentsShaded, imm.FragmentsShaded)
+	}
+	// HSR must still shade every finally-visible fragment: at least
+	// half of the TBR shading survives on these scenes (the rest was
+	// overdraw). Guards against the depth-equality comparison silently
+	// failing and shading nothing.
+	if def.FragmentsShaded < imm.FragmentsShaded/2 {
+		t.Fatalf("HSR shaded suspiciously few fragments: %d vs %d",
+			def.FragmentsShaded, imm.FragmentsShaded)
+	}
+	// Every covered pixel is shaded at most once under HSR: shaded
+	// fragments cannot exceed the screen pixel count per frame.
+	tr := workload.MustGenerate(workload.Profiles["bbr1"], workload.TestScale)
+	maxPerFrame := uint64(tr.Viewport.Width * tr.Viewport.Height)
+	if def.FragmentsShaded > 8*maxPerFrame {
+		t.Fatalf("TBDR shaded %d fragments over 8 frames, more than %d pixels",
+			def.FragmentsShaded, 8*maxPerFrame)
+	}
+}
+
+func TestDeferredShadingConservesFragments(t *testing.T) {
+	// Shaded + occluded must equal total coverage in both modes.
+	imm, def := deferredPair(t, "spd", 4)
+	if imm.FragmentsShaded+imm.FragmentsOccluded != def.FragmentsShaded+def.FragmentsOccluded {
+		t.Fatalf("coverage not conserved: TBR %d+%d vs TBDR %d+%d",
+			imm.FragmentsShaded, imm.FragmentsOccluded,
+			def.FragmentsShaded, def.FragmentsOccluded)
+	}
+}
+
+func TestDeferredShadingDeterministic(t *testing.T) {
+	_, a := deferredPair(t, "hwh", 3)
+	_, b := deferredPair(t, "hwh", 3)
+	if a != b {
+		t.Fatal("TBDR simulation not deterministic")
+	}
+}
+
+func TestDeferredFrameIsolation(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hwh"], workload.TestScale)
+	cfg := tbr.DefaultConfig()
+	cfg.DeferredShading = true
+	simA, err := tbr.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := simA.SimulateFrame(30)
+	simB, err := tbr.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 30; f++ {
+		simB.SimulateFrame(f)
+	}
+	if inSeq := simB.SimulateFrame(30); inSeq != direct {
+		t.Fatal("TBDR frame not isolation-stable")
+	}
+}

@@ -1,0 +1,57 @@
+package tbr
+
+import (
+	"testing"
+
+	"repro/internal/tbr/mem"
+)
+
+func TestScaleDRAMToGPUClock(t *testing.T) {
+	base := mem.DefaultDRAMConfig()
+
+	// Reference frequency and non-positive frequency: identity.
+	if got := scaleDRAMToGPUClock(base, 600); got != base {
+		t.Fatalf("600 MHz changed config: %+v", got)
+	}
+	if got := scaleDRAMToGPUClock(base, 0); got != base {
+		t.Fatalf("0 MHz changed config: %+v", got)
+	}
+
+	// Half clock: latencies halve, bandwidth per GPU cycle doubles.
+	half := scaleDRAMToGPUClock(base, 300)
+	if half.RowHitLatency != 25 || half.RowMissLatency != 50 {
+		t.Fatalf("300 MHz latencies = %d/%d", half.RowHitLatency, half.RowMissLatency)
+	}
+	if half.BytesPerCycle != 8 {
+		t.Fatalf("300 MHz bytes/cycle = %d, want 8", half.BytesPerCycle)
+	}
+
+	// Double clock: latencies double, bandwidth halves.
+	dbl := scaleDRAMToGPUClock(base, 1200)
+	if dbl.RowHitLatency != 100 || dbl.RowMissLatency != 200 {
+		t.Fatalf("1200 MHz latencies = %d/%d", dbl.RowHitLatency, dbl.RowMissLatency)
+	}
+	if dbl.BytesPerCycle != 2 {
+		t.Fatalf("1200 MHz bytes/cycle = %d, want 2", dbl.BytesPerCycle)
+	}
+
+	// 8x clock: bandwidth would be 0.5 B/cycle; the residual transfer
+	// folds into latency with BytesPerCycle clamped to 1.
+	x8 := scaleDRAMToGPUClock(base, 4800)
+	if x8.BytesPerCycle != 1 {
+		t.Fatalf("4800 MHz bytes/cycle = %d, want 1", x8.BytesPerCycle)
+	}
+	if x8.RowHitLatency <= 8*base.RowHitLatency {
+		t.Fatalf("4800 MHz hit latency %d missing residual transfer", x8.RowHitLatency)
+	}
+	// Residual = 64 B * (2 - 1) = 64 cycles over the plain 8x latency.
+	if want := 8*base.RowHitLatency + 64; x8.RowHitLatency != want {
+		t.Fatalf("4800 MHz hit latency = %d, want %d", x8.RowHitLatency, want)
+	}
+}
+
+func TestScaleCyclesFloor(t *testing.T) {
+	if scaleCycles(1, 0.1) != 1 {
+		t.Fatal("latency must not scale below 1 cycle")
+	}
+}

@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/xmath/stats"
+)
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "l1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, Latency: 2},
+		&flatMem{latency: 100})
+	c.Access(0, 0x100, false) // warm the line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i), 0x100, false)
+	}
+}
+
+func BenchmarkCacheRandomAccess(b *testing.B) {
+	dram := NewDRAM(DefaultDRAMConfig())
+	l2 := NewCache(CacheConfig{Name: "l2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 2, Latency: 18}, dram)
+	l1 := NewCache(CacheConfig{Name: "l1", SizeBytes: 8 << 10, LineBytes: 64, Ways: 2, Latency: 2}, l2)
+	rng := stats.NewRNG(7)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Access(uint64(i), addrs[i&4095], i&7 == 0)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := NewDRAM(DefaultDRAMConfig())
+	rng := stats.NewRNG(11)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 24))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(uint64(i), addrs[i&4095], false)
+	}
+}

@@ -1,0 +1,375 @@
+// Package mem models the memory hierarchy of the simulated TBR GPU: the
+// set-associative first-level caches (vertex, texture, tile), the shared
+// L2, and a banked LPDDR-style DRAM with open-row policy — the roles
+// DRAMsim2 and the cache models play inside TEAPOT.
+//
+// The timing interface is transaction-level: Access(now, addr, write)
+// returns the cycle at which the request completes, advancing internal
+// busy state. All caches are write-back, write-allocate with true LRU
+// replacement.
+package mem
+
+import "fmt"
+
+// Level is any component that can serve memory requests: a cache or the
+// DRAM at the bottom of the hierarchy.
+type Level interface {
+	// Access performs a read or write of one item at addr starting no
+	// earlier than cycle now, returning the completion cycle.
+	Access(now uint64, addr uint64, write bool) uint64
+	// Name identifies the level in stats dumps.
+	Name() string
+}
+
+// CacheConfig sizes a cache. Sizes follow Table I of the paper.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// Latency is the hit latency in cycles.
+	Latency uint64
+	// Banks is kept for configuration fidelity with Table I; bank
+	// conflicts are not modeled (single-ported timing is subsumed by
+	// the pipeline's one-access-per-cycle issue rate).
+	Banks int
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: cache %q has non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("mem: cache %q size %d not divisible by line*ways (%d*%d)",
+			c.Name, c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %q would have %d sets (must be a power of two)", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: cache %q line size %d must be a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse implements true LRU via a monotonically increasing
+	// access stamp.
+	lastUse uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate cache.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]cacheLine
+	setMask   uint64
+	setShift  uint
+	lineShift uint
+	next      Level
+	stamp     uint64
+	Stats     CacheStats
+}
+
+// NewCache builds a cache over the given next level. It panics on an
+// invalid configuration (configurations are static in this codebase).
+func NewCache(cfg CacheConfig, next Level) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if next == nil {
+		panic("mem: cache needs a next level")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	numSets := lines / cfg.Ways
+	sets := make([][]cacheLine, numSets)
+	backing := make([]cacheLine, lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	setShift := uint(0)
+	for 1<<setShift < numSets {
+		setShift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(numSets - 1),
+		setShift:  setShift,
+		lineShift: shift,
+		next:      next,
+	}
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Flush invalidates every line, writing back dirty ones (counted in
+// Stats.Writebacks and forwarded to the next level at time `now`).
+// It returns the completion time of the last writeback.
+func (c *Cache) Flush(now uint64) uint64 {
+	done := now
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.valid && ln.dirty {
+				c.Stats.Writebacks++
+				addr := (ln.tag*(c.setMask+1) + uint64(si)) << c.lineShift
+				if d := c.next.Access(now, addr, true); d > done {
+					done = d
+				}
+			}
+			*ln = cacheLine{}
+		}
+	}
+	return done
+}
+
+// WritebackAll writes every dirty line to the next level, clearing
+// dirty bits but keeping the contents resident — the end-of-frame
+// behaviour when caches stay warm across frames.
+func (c *Cache) WritebackAll(now uint64) uint64 {
+	done := now
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.valid && ln.dirty {
+				c.Stats.Writebacks++
+				addr := (ln.tag*(c.setMask+1) + uint64(si)) << c.lineShift
+				if d := c.next.Access(now, addr, true); d > done {
+					done = d
+				}
+				ln.dirty = false
+			}
+		}
+	}
+	return done
+}
+
+// Reset invalidates every line without writing anything back and zeroes
+// the statistics. Used at frame boundaries when simulating frames as
+// independent units.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = cacheLine{}
+		}
+	}
+	c.Stats = CacheStats{}
+	c.stamp = 0
+}
+
+// ResetStats zeroes counters but keeps cache contents.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// Access implements Level.
+func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
+	c.Stats.Accesses++
+	c.stamp++
+	lineAddr := addr >> c.lineShift
+	setIdx := lineAddr & c.setMask
+	tag := lineAddr >> c.setShift
+	set := c.sets[setIdx]
+
+	// Hit path.
+	for wi := range set {
+		ln := &set[wi]
+		if ln.valid && ln.tag == tag {
+			c.Stats.Hits++
+			ln.lastUse = c.stamp
+			if write {
+				ln.dirty = true
+			}
+			return now + c.cfg.Latency
+		}
+	}
+
+	// Miss: pick victim (invalid first, else LRU).
+	c.Stats.Misses++
+	victim := 0
+	for wi := range set {
+		if !set[wi].valid {
+			victim = wi
+			break
+		}
+		if set[wi].lastUse < set[victim].lastUse {
+			victim = wi
+		}
+	}
+	ln := &set[victim]
+	fillStart := now + c.cfg.Latency
+	if ln.valid && ln.dirty {
+		// Write back the victim. The writeback proceeds in the
+		// background; it occupies the next level but does not delay
+		// the demand fill beyond the level's own queuing.
+		c.Stats.Writebacks++
+		victimAddr := (ln.tag*(c.setMask+1) + setIdx) << c.lineShift
+		c.next.Access(now, victimAddr, true)
+	}
+	done := c.next.Access(fillStart, addr, false)
+	*ln = cacheLine{tag: tag, valid: true, dirty: write, lastUse: c.stamp}
+	return done
+}
+
+// DRAMConfig sizes the main memory model (Table I: dual-channel LPDDR3,
+// 4 B/cycle, 50-100 cycle latency, 64 B lines, 8 banks).
+type DRAMConfig struct {
+	// Channels is the number of independent channels.
+	Channels int
+	// Banks per channel.
+	Banks int
+	// RowBytes is the open-row (page) size per bank.
+	RowBytes int
+	// RowHitLatency and RowMissLatency bound the access latency.
+	RowHitLatency, RowMissLatency uint64
+	// LineBytes is the transfer granularity.
+	LineBytes int
+	// BytesPerCycle is the per-channel bandwidth.
+	BytesPerCycle int
+}
+
+// DefaultDRAMConfig matches Table I.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Channels:       2,
+		Banks:          8,
+		RowBytes:       2048,
+		RowHitLatency:  50,
+		RowMissLatency: 100,
+		LineBytes:      64,
+		BytesPerCycle:  4,
+	}
+}
+
+// DRAMStats counts memory activity.
+type DRAMStats struct {
+	Accesses  uint64
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	// BusyCycles accumulates channel occupancy for bandwidth
+	// utilization reporting.
+	BusyCycles uint64
+}
+
+// DRAM is the open-row banked main memory model.
+type DRAM struct {
+	cfg DRAMConfig
+	// openRow[channel][bank] is the currently open row (+1; 0 = none).
+	openRow [][]uint64
+	// busyUntil[channel] is the data-bus availability time.
+	busyUntil []uint64
+	Stats     DRAMStats
+}
+
+// NewDRAM builds the memory model. It panics on non-positive geometry.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Channels <= 0 || cfg.Banks <= 0 || cfg.RowBytes <= 0 || cfg.LineBytes <= 0 || cfg.BytesPerCycle <= 0 {
+		panic("mem: invalid DRAM configuration")
+	}
+	d := &DRAM{cfg: cfg}
+	d.openRow = make([][]uint64, cfg.Channels)
+	for i := range d.openRow {
+		d.openRow[i] = make([]uint64, cfg.Banks)
+	}
+	d.busyUntil = make([]uint64, cfg.Channels)
+	return d
+}
+
+// Name implements Level.
+func (d *DRAM) Name() string { return "dram" }
+
+// Config returns the DRAM geometry.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// Reset clears open rows, bus state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.openRow {
+		for j := range d.openRow[i] {
+			d.openRow[i][j] = 0
+		}
+	}
+	for i := range d.busyUntil {
+		d.busyUntil[i] = 0
+	}
+	d.Stats = DRAMStats{}
+}
+
+// ResetStats zeroes counters but keeps row-buffer state.
+func (d *DRAM) ResetStats() { d.Stats = DRAMStats{} }
+
+// ResetTime rewinds the bus-availability clocks and closes all rows but
+// keeps statistics. Used at frame boundaries, where unit clocks restart
+// from zero.
+func (d *DRAM) ResetTime() {
+	for i := range d.openRow {
+		for j := range d.openRow[i] {
+			d.openRow[i][j] = 0
+		}
+	}
+	for i := range d.busyUntil {
+		d.busyUntil[i] = 0
+	}
+}
+
+// Access implements Level: one line transfer.
+func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
+	d.Stats.Accesses++
+	if write {
+		d.Stats.Writes++
+	} else {
+		d.Stats.Reads++
+	}
+	line := addr / uint64(d.cfg.LineBytes)
+	channel := int(line) % d.cfg.Channels
+	row := addr / uint64(d.cfg.RowBytes)
+	bank := int(row) % d.cfg.Banks
+
+	lat := d.cfg.RowHitLatency
+	if d.openRow[channel][bank] != row+1 {
+		lat = d.cfg.RowMissLatency
+		d.Stats.RowMisses++
+		d.openRow[channel][bank] = row + 1
+	} else {
+		d.Stats.RowHits++
+	}
+
+	transfer := uint64(d.cfg.LineBytes / d.cfg.BytesPerCycle)
+	start := now
+	if d.busyUntil[channel] > start {
+		start = d.busyUntil[channel]
+	}
+	done := start + lat + transfer
+	d.busyUntil[channel] = start + transfer
+	d.Stats.BusyCycles += transfer
+	return done
+}

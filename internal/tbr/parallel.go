@@ -1,0 +1,128 @@
+package tbr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gltrace"
+)
+
+// SimulateFramesParallel simulates the given frame subset across
+// `workers` goroutines (0 = GOMAXPROCS), returning stats in the same
+// order as frames. Like SimulateAllParallel it requires frame isolation
+// (FlushCachesPerFrame).
+func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, workers int) ([]FrameStats, error) {
+	if !cfg.FlushCachesPerFrame {
+		return nil, fmt.Errorf("tbr: parallel simulation requires FlushCachesPerFrame (frame isolation)")
+	}
+	for _, f := range frames {
+		if f < 0 || f >= trace.NumFrames() {
+			return nil, fmt.Errorf("tbr: frame %d out of range [0,%d)", f, trace.NumFrames())
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	out := make([]FrameStats, len(frames))
+	if workers <= 1 {
+		sim, err := New(cfg, trace)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range frames {
+			out[i] = sim.SimulateFrame(f)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim, err := New(cfg, trace)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frames) {
+					return
+				}
+				out[i] = sim.SimulateFrame(frames[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// SimulateAllParallel simulates every frame of the trace across
+// `workers` goroutines (0 = GOMAXPROCS), each with its own Simulator
+// instance. It requires FlushCachesPerFrame: frame isolation makes the
+// result bit-identical to the sequential SimulateAll regardless of how
+// frames are distributed over workers — verified by tests. progress, if
+// non-nil, is called once per completed frame (from worker goroutines;
+// it must be safe for concurrent use).
+func SimulateAllParallel(cfg Config, trace *gltrace.Trace, workers int, progress func(frame int)) ([]FrameStats, error) {
+	if !cfg.FlushCachesPerFrame {
+		return nil, fmt.Errorf("tbr: parallel simulation requires FlushCachesPerFrame (frame isolation)")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := trace.NumFrames()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sim, err := New(cfg, trace)
+		if err != nil {
+			return nil, err
+		}
+		return sim.SimulateAll(progress), nil
+	}
+
+	out := make([]FrameStats, n)
+	var next atomic.Int64
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim, err := New(cfg, trace)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for {
+				f := int(next.Add(1)) - 1
+				if f >= n {
+					return
+				}
+				out[f] = sim.SimulateFrame(f)
+				if progress != nil {
+					progress(f)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package tbr_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"], workload.TestScale)
+	cfg := tbr.DefaultConfig()
+
+	sim, err := tbr.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := sim.SimulateAll(nil)
+
+	parallel, err := tbr.SimulateAllParallel(cfg, tr, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(sequential) {
+		t.Fatalf("lengths differ: %d vs %d", len(parallel), len(sequential))
+	}
+	for i := range sequential {
+		if sequential[i] != parallel[i] {
+			t.Fatalf("frame %d differs between sequential and parallel runs", i)
+		}
+	}
+}
+
+func TestParallelProgressCalledPerFrame(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["jjo"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+	var calls atomic.Int64
+	out, err := tbr.SimulateAllParallel(tbr.DefaultConfig(), tr, 3, func(int) { calls.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != len(out) {
+		t.Fatalf("progress calls %d, frames %d", calls.Load(), len(out))
+	}
+}
+
+func TestParallelRejectsWarmCaches(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"], workload.TestScale)
+	cfg := tbr.DefaultConfig()
+	cfg.FlushCachesPerFrame = false
+	if _, err := tbr.SimulateAllParallel(cfg, tr, 4, nil); err == nil {
+		t.Fatal("accepted non-isolated configuration")
+	}
+}
+
+func TestParallelSingleWorkerFallback(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+	out, err := tbr.SimulateAllParallel(tbr.DefaultConfig(), tr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != tr.NumFrames() {
+		t.Fatalf("frames = %d", len(out))
+	}
+}

@@ -1,0 +1,102 @@
+// Package queue models the bounded inter-stage queues of the GPU
+// pipeline (Table I: vertex, triangle/tile, fragment and color queues).
+// A queue slot is occupied from the cycle an item is admitted until the
+// cycle the downstream consumer finishes it; when all slots are full the
+// producer stalls — this is how back-pressure propagates between pipeline
+// stages in the timing model.
+//
+// Usage is two-phase because an item's departure time is only known
+// after downstream latency is computed:
+//
+//	at := q.Admit(ready)   // earliest cycle the item can enter
+//	done := process(at)    // downstream work
+//	q.Commit(done)         // the slot frees at done
+package queue
+
+import "fmt"
+
+// Stats counts queue activity.
+type Stats struct {
+	// Admitted is the number of items that passed through.
+	Admitted uint64
+	// Stalls is the number of items that had to wait for a slot.
+	Stalls uint64
+	// StallCycles is the total wait time.
+	StallCycles uint64
+}
+
+// Queue is a bounded FIFO of in-flight pipeline items.
+type Queue struct {
+	name    string
+	doneAt  []uint64
+	head    int
+	pending bool
+	Stats   Stats
+}
+
+// New returns a queue with the given number of entries. It panics on a
+// non-positive size (configurations are static).
+func New(name string, entries int) *Queue {
+	if entries <= 0 {
+		panic(fmt.Sprintf("queue %q: entries must be positive, got %d", name, entries))
+	}
+	return &Queue{name: name, doneAt: make([]uint64, entries)}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Entries returns the queue capacity.
+func (q *Queue) Entries() int { return len(q.doneAt) }
+
+// Admit returns the earliest cycle >= ready at which the item can enter
+// the queue (waiting for the oldest occupant to leave if full). Each
+// Admit must be followed by exactly one Commit.
+func (q *Queue) Admit(ready uint64) uint64 {
+	if q.pending {
+		panic(fmt.Sprintf("queue %q: Admit called with a Commit pending", q.name))
+	}
+	q.pending = true
+	q.Stats.Admitted++
+	free := q.doneAt[q.head]
+	if free > ready {
+		q.Stats.Stalls++
+		q.Stats.StallCycles += free - ready
+		return free
+	}
+	return ready
+}
+
+// Commit records that the item admitted by the last Admit leaves the
+// queue at cycle done.
+func (q *Queue) Commit(done uint64) {
+	if !q.pending {
+		panic(fmt.Sprintf("queue %q: Commit without Admit", q.name))
+	}
+	q.pending = false
+	q.doneAt[q.head] = done
+	q.head++
+	if q.head == len(q.doneAt) {
+		q.head = 0
+	}
+}
+
+// Reset empties the queue and zeroes statistics.
+func (q *Queue) Reset() {
+	for i := range q.doneAt {
+		q.doneAt[i] = 0
+	}
+	q.head = 0
+	q.pending = false
+	q.Stats = Stats{}
+}
+
+// ResetTime empties the queue (all slots free at cycle 0) but keeps
+// statistics. Used at frame boundaries.
+func (q *Queue) ResetTime() {
+	for i := range q.doneAt {
+		q.doneAt[i] = 0
+	}
+	q.head = 0
+	q.pending = false
+}

@@ -1,0 +1,147 @@
+package tbr_test
+
+import (
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+// sumFrames simulates a band of gameplay frames and totals the stats.
+func sumFrames(t *testing.T, cfg tbr.Config, alias string, n int) tbr.FrameStats {
+	t.Helper()
+	tr := workload.MustGenerate(workload.Profiles[alias], workload.TestScale)
+	sim, err := tbr.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total tbr.FrameStats
+	start := tr.NumFrames() / 2
+	for f := start; f < start+n; f++ {
+		st := sim.SimulateFrame(f)
+		total.Add(&st)
+	}
+	return total
+}
+
+func TestLargerL2ReducesDRAMTraffic(t *testing.T) {
+	small := tbr.DefaultConfig()
+	small.L2.SizeBytes = 32 << 10
+	big := tbr.DefaultConfig()
+	big.L2.SizeBytes = 1 << 20
+
+	a := sumFrames(t, small, "asp", 8)
+	b := sumFrames(t, big, "asp", 8)
+	if b.DRAM.Accesses >= a.DRAM.Accesses {
+		t.Fatalf("1MiB L2 (%d DRAM accesses) not better than 32KiB (%d)",
+			b.DRAM.Accesses, a.DRAM.Accesses)
+	}
+	// L2 accesses themselves are demand-driven and should barely move.
+	ratio := float64(b.L2.Accesses) / float64(a.L2.Accesses)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("L2 access count moved unexpectedly: %d vs %d", a.L2.Accesses, b.L2.Accesses)
+	}
+}
+
+func TestMoreFragmentProcessorsReduceCycles(t *testing.T) {
+	one := tbr.DefaultConfig()
+	one.NumFragmentProcessors = 1
+	four := tbr.DefaultConfig()
+
+	a := sumFrames(t, one, "bbr1", 5)
+	b := sumFrames(t, four, "bbr1", 5)
+	if b.Cycles >= a.Cycles {
+		t.Fatalf("4 FPs (%d cycles) not faster than 1 FP (%d)", b.Cycles, a.Cycles)
+	}
+	// The work done must be identical — only timing changes.
+	if a.FragmentsShaded != b.FragmentsShaded || a.FSInstrs != b.FSInstrs {
+		t.Fatal("processor count changed the computed work")
+	}
+}
+
+func TestMoreVertexProcessorsNeverSlower(t *testing.T) {
+	one := tbr.DefaultConfig()
+	one.NumVertexProcessors = 1
+	four := tbr.DefaultConfig()
+	a := sumFrames(t, one, "asp", 5)
+	b := sumFrames(t, four, "asp", 5)
+	if b.GeometryCycles > a.GeometryCycles {
+		t.Fatalf("4 VPs (%d geom cycles) slower than 1 VP (%d)", b.GeometryCycles, a.GeometryCycles)
+	}
+}
+
+func TestSlowerDRAMIncreasesCycles(t *testing.T) {
+	fast := tbr.DefaultConfig()
+	slow := tbr.DefaultConfig()
+	slow.DRAM.RowHitLatency = 200
+	slow.DRAM.RowMissLatency = 400
+	slow.DRAM.BytesPerCycle = 1
+
+	a := sumFrames(t, fast, "hcr", 5)
+	b := sumFrames(t, slow, "hcr", 5)
+	if b.Cycles <= a.Cycles {
+		t.Fatalf("slow DRAM (%d cycles) not slower than fast (%d)", b.Cycles, a.Cycles)
+	}
+	if a.DRAM.Accesses != b.DRAM.Accesses {
+		t.Fatal("DRAM timing changed access counts")
+	}
+}
+
+func TestSmallerTileSizeIncreasesTileEntries(t *testing.T) {
+	big := tbr.DefaultConfig()
+	big.TileSize = 32
+	small := tbr.DefaultConfig()
+	small.TileSize = 8
+
+	a := sumFrames(t, big, "bbr1", 5)
+	b := sumFrames(t, small, "bbr1", 5)
+	// Smaller tiles: each primitive overlaps more tiles.
+	if b.TileEntries <= a.TileEntries {
+		t.Fatalf("8px tiles (%d entries) not more than 32px tiles (%d)", b.TileEntries, a.TileEntries)
+	}
+	// Fragment counts must be identical: tiling partitions coverage.
+	if a.FragmentsShaded != b.FragmentsShaded {
+		t.Fatalf("tile size changed shaded fragments: %d vs %d", a.FragmentsShaded, b.FragmentsShaded)
+	}
+	if a.QuadsRasterized != b.QuadsRasterized {
+		// Quads may differ slightly: a quad straddling a tile boundary
+		// is rasterized once per tile. Smaller tiles may only increase
+		// the count.
+		if b.QuadsRasterized < a.QuadsRasterized {
+			t.Fatalf("smaller tiles rasterized fewer quads: %d vs %d", b.QuadsRasterized, a.QuadsRasterized)
+		}
+	}
+}
+
+func TestTinyQueuesStallMore(t *testing.T) {
+	wide := tbr.DefaultConfig()
+	narrow := tbr.DefaultConfig()
+	narrow.VertexQueueEntries = 1
+	narrow.FragmentQueueEntries = 1
+	narrow.ColorQueueEntries = 1
+	narrow.TriangleQueueEntries = 1
+
+	a := sumFrames(t, wide, "bbr1", 5)
+	b := sumFrames(t, narrow, "bbr1", 5)
+	if b.QueueStallCycles <= a.QueueStallCycles {
+		t.Fatalf("1-entry queues (%d stall cycles) not worse than Table I queues (%d)",
+			b.QueueStallCycles, a.QueueStallCycles)
+	}
+	if b.Cycles < a.Cycles {
+		t.Fatal("narrow queues made the pipeline faster")
+	}
+}
+
+func TestBiggerTextureCachesNeverIncreaseMisses(t *testing.T) {
+	small := tbr.DefaultConfig()
+	small.TextureCache.SizeBytes = 1 << 10
+	big := tbr.DefaultConfig()
+	big.TextureCache.SizeBytes = 64 << 10
+
+	a := sumFrames(t, small, "asp", 5)
+	b := sumFrames(t, big, "asp", 5)
+	if b.TextureCache.Misses > a.TextureCache.Misses {
+		t.Fatalf("64KiB texture caches missed more (%d) than 1KiB (%d)",
+			b.TextureCache.Misses, a.TextureCache.Misses)
+	}
+}

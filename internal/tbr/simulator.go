@@ -1,0 +1,785 @@
+package tbr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gltrace"
+	"repro/internal/raster"
+	"repro/internal/shader"
+	"repro/internal/tbr/mem"
+	"repro/internal/tbr/queue"
+)
+
+// Memory map: disjoint regions keep the access streams of the different
+// producers from aliasing.
+const (
+	vertexRegion  uint64 = 0x0000_0000
+	textureRegion uint64 = 0x1000_0000
+	plbRegion     uint64 = 0x4000_0000
+	fbRegion      uint64 = 0x8000_0000
+
+	// plbRecordBytes is the size of one primitive record in a tile's
+	// polygon list (vertex positions + attribute pointers).
+	plbRecordBytes = 32
+)
+
+// Simulator runs the timing model over one trace. It is not safe for
+// concurrent use; create one simulator per goroutine.
+type Simulator struct {
+	cfg   Config
+	trace *gltrace.Trace
+
+	dram      *mem.DRAM
+	l2        *mem.Cache
+	vcache    *mem.Cache
+	tilecache *mem.Cache
+	tcaches   []*mem.Cache
+
+	vertexQ   *queue.Queue
+	triangleQ *queue.Queue
+	fragmentQ *queue.Queue
+	colorQ    *queue.Queue
+
+	// Precomputed shader costs and texture instruction lists.
+	vsCost []shader.Cost
+	fsCost []shader.Cost
+	fsTex  [][]texFetch
+
+	// Resource base addresses.
+	meshBase []uint64
+	texBase  []uint64
+
+	// Tiling.
+	tilesX, tilesY int
+
+	// Reused per-frame buffers.
+	depth  *raster.DepthBuffer
+	tris   []boundTri
+	bins   [][]int32 // per tile: indices into tris
+	binRec [][]uint64
+	vpFree []uint64
+	fpFree []uint64
+	triBuf []raster.ScreenTriangle
+
+	// Deferred-shading (TBDR) buffers, reused per tile.
+	deferred    []deferredQuad
+	transparent []deferredQuad
+	shadedPix   []bool
+}
+
+// deferredQuad is a depth-surviving quad awaiting the HSR shade pass.
+type deferredQuad struct {
+	q   raster.Quad
+	tri int32
+}
+
+// boundTri is a visible screen triangle with the state it was drawn
+// under.
+type boundTri struct {
+	tri   raster.ScreenTriangle
+	fs    int32
+	tex   int32 // texture bound at unit 0 (materials bind one texture)
+	blend bool  // alpha-blended draw: depth-test only, no depth write
+}
+
+// texFetch is one texture instruction of a fragment shader.
+type texFetch struct {
+	sampler int
+	filter  shader.FilterMode
+	taps    int
+}
+
+// New builds a simulator for the trace. The trace must validate.
+func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, trace: trace}
+
+	s.dram = mem.NewDRAM(scaleDRAMToGPUClock(cfg.DRAM, cfg.FrequencyMHz))
+	s.l2 = mem.NewCache(cfg.L2, s.dram)
+	s.vcache = mem.NewCache(cfg.VertexCache, s.l2)
+	s.tilecache = mem.NewCache(cfg.TileCache, s.l2)
+	for i := 0; i < cfg.NumTextureCaches; i++ {
+		tc := cfg.TextureCache
+		tc.Name = fmt.Sprintf("texture%d", i)
+		s.tcaches = append(s.tcaches, mem.NewCache(tc, s.l2))
+	}
+
+	s.vertexQ = queue.New("vertex", cfg.VertexQueueEntries)
+	s.triangleQ = queue.New("triangle", cfg.TriangleQueueEntries)
+	s.fragmentQ = queue.New("fragment", cfg.FragmentQueueEntries)
+	s.colorQ = queue.New("color", cfg.ColorQueueEntries)
+
+	for _, p := range trace.VertexShaders {
+		s.vsCost = append(s.vsCost, p.DynamicCost())
+	}
+	for _, p := range trace.FragmentShaders {
+		s.fsCost = append(s.fsCost, p.DynamicCost())
+		s.fsTex = append(s.fsTex, texFetches(p))
+	}
+
+	// Lay out resources.
+	addr := vertexRegion
+	for i := range trace.Meshes {
+		s.meshBase = append(s.meshBase, addr)
+		addr += uint64(len(trace.Meshes[i].Vertices) * gltrace.BytesPerVertex)
+		addr = align(addr, 64)
+	}
+	addr = textureRegion
+	for i := range trace.Textures {
+		s.texBase = append(s.texBase, addr)
+		// Reserve space for the base level plus a mip chain.
+		addr += uint64(trace.Textures[i].SizeBytes() * 2)
+		addr = align(addr, 64)
+	}
+
+	vp := trace.Viewport
+	s.tilesX = (vp.Width + cfg.TileSize - 1) / cfg.TileSize
+	s.tilesY = (vp.Height + cfg.TileSize - 1) / cfg.TileSize
+	s.depth = raster.NewDepthBuffer(vp.Width, vp.Height)
+	s.bins = make([][]int32, s.tilesX*s.tilesY)
+	s.binRec = make([][]uint64, s.tilesX*s.tilesY)
+	s.vpFree = make([]uint64, cfg.NumVertexProcessors)
+	s.fpFree = make([]uint64, cfg.NumFragmentProcessors)
+	return s, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+func align(a uint64, to uint64) uint64 {
+	return (a + to - 1) &^ (to - 1)
+}
+
+func texFetches(p *shader.Program) []texFetch {
+	var out []texFetch
+	var walk func(code []shader.Instr, mult int)
+	walk = func(code []shader.Instr, mult int) {
+		for i := range code {
+			in := &code[i]
+			switch in.Op {
+			case shader.OpTex:
+				for m := 0; m < mult; m++ {
+					out = append(out, texFetch{
+						sampler: in.Sampler,
+						filter:  in.Filter,
+						taps:    in.Filter.MemAccesses(),
+					})
+				}
+			case shader.OpIf:
+				walk(in.Body, mult)
+				walk(in.Else, mult)
+			case shader.OpLoop:
+				walk(in.Body, mult*in.Count)
+			}
+		}
+	}
+	walk(p.Code, 1)
+	return out
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SimulateFrame runs the timing model for frame f (0-based) and returns
+// its statistics. With FlushCachesPerFrame set (the default), the result
+// is independent of which frames were simulated before — the property
+// MEGsim relies on to simulate only cluster representatives.
+func (s *Simulator) SimulateFrame(f int) FrameStats {
+	if f < 0 || f >= s.trace.NumFrames() {
+		panic(fmt.Sprintf("tbr: frame %d out of range [0,%d)", f, s.trace.NumFrames()))
+	}
+	st := FrameStats{Frame: f}
+
+	// Snapshot memory-system stats to compute per-frame deltas.
+	vc0 := s.vcache.Stats
+	tc0 := s.tilecache.Stats
+	l20 := s.l2.Stats
+	dr0 := s.dram.Stats
+	var tex0 mem.CacheStats
+	for _, c := range s.tcaches {
+		addCache(&tex0, c.Stats)
+	}
+	q0 := s.queueStallCycles()
+
+	if s.cfg.FlushCachesPerFrame {
+		s.coldStart()
+	} else {
+		s.dram.ResetTime()
+		s.resetQueues()
+	}
+
+	geomEnd := s.geometryPass(&st)
+	rasterEnd := s.rasterPass(&st, geomEnd)
+
+	// End-of-frame: dirty framebuffer/PLB data drains to memory. In the
+	// per-frame cold-start mode the caches are also invalidated (they
+	// will be wiped at the next frame's start anyway); in warm mode the
+	// contents stay resident so the next frame can hit on them.
+	flushEnd := rasterEnd
+	if s.cfg.FlushCachesPerFrame {
+		flushEnd = maxU(flushEnd, s.tilecache.Flush(rasterEnd))
+		flushEnd = maxU(flushEnd, s.vcache.Flush(rasterEnd))
+		for _, c := range s.tcaches {
+			flushEnd = maxU(flushEnd, c.Flush(rasterEnd))
+		}
+		flushEnd = maxU(flushEnd, s.l2.Flush(flushEnd))
+	} else {
+		flushEnd = maxU(flushEnd, s.tilecache.WritebackAll(rasterEnd))
+		flushEnd = maxU(flushEnd, s.vcache.WritebackAll(rasterEnd))
+		for _, c := range s.tcaches {
+			flushEnd = maxU(flushEnd, c.WritebackAll(rasterEnd))
+		}
+		flushEnd = maxU(flushEnd, s.l2.WritebackAll(flushEnd))
+	}
+
+	st.GeometryCycles = geomEnd
+	st.RasterCycles = flushEnd - geomEnd
+	st.Cycles = flushEnd
+
+	st.VertexCache = subCache(s.vcache.Stats, vc0)
+	st.TileCache = subCache(s.tilecache.Stats, tc0)
+	st.L2 = subCache(s.l2.Stats, l20)
+	st.DRAM = subDRAM(s.dram.Stats, dr0)
+	var tex1 mem.CacheStats
+	for _, c := range s.tcaches {
+		addCache(&tex1, c.Stats)
+	}
+	st.TextureCache = subCache(tex1, tex0)
+	st.QueueStallCycles = s.queueStallCycles() - q0
+	return st
+}
+
+// SimulateAll simulates every frame in order, returning per-frame stats.
+// progress, if non-nil, is called after each frame.
+func (s *Simulator) SimulateAll(progress func(frame int)) []FrameStats {
+	out := make([]FrameStats, s.trace.NumFrames())
+	for f := 0; f < s.trace.NumFrames(); f++ {
+		out[f] = s.SimulateFrame(f)
+		if progress != nil {
+			progress(f)
+		}
+	}
+	return out
+}
+
+func (s *Simulator) queueStallCycles() uint64 {
+	return s.vertexQ.Stats.StallCycles + s.triangleQ.Stats.StallCycles +
+		s.fragmentQ.Stats.StallCycles + s.colorQ.Stats.StallCycles
+}
+
+// coldStart drops all cached state without writebacks (the previous
+// frame already flushed) and rewinds all unit clocks to zero.
+func (s *Simulator) coldStart() {
+	inv := func(c *mem.Cache) {
+		st := c.Stats
+		c.Reset()
+		c.Stats = st
+	}
+	inv(s.vcache)
+	inv(s.tilecache)
+	inv(s.l2)
+	for _, c := range s.tcaches {
+		inv(c)
+	}
+	dst := s.dram.Stats
+	s.dram.Reset()
+	s.dram.Stats = dst
+	s.resetQueues()
+}
+
+func (s *Simulator) resetQueues() {
+	s.vertexQ.ResetTime()
+	s.triangleQ.ResetTime()
+	s.fragmentQ.ResetTime()
+	s.colorQ.ResetTime()
+}
+
+// geometryPass simulates the Geometry Pipeline and Tiling Engine for the
+// frame, filling the per-tile bins, and returns the cycle at which the
+// pass (including the last polygon-list write) completes.
+func (s *Simulator) geometryPass(st *FrameStats) uint64 {
+	frame := &s.trace.Frames[st.Frame]
+	vp := s.trace.Viewport
+
+	s.tris = s.tris[:0]
+	for i := range s.bins {
+		s.bins[i] = s.bins[i][:0]
+		s.binRec[i] = s.binRec[i][:0]
+	}
+	for i := range s.vpFree {
+		s.vpFree[i] = 0
+	}
+
+	var (
+		fetchClock uint64 // vertex fetcher issue clock, 1 vertex/cycle
+		paClock    uint64 // primitive assembly, 1 vertex/cycle
+		clipClock  uint64 // clip & cull, 1 prim/cycle
+		plbClock   uint64 // polygon list builder, 1 entry/cycle
+		plbAddr    = plbRegion
+		lastDone   uint64
+		curVS      = -1
+		curFS      = -1
+		curTex     int32
+	)
+
+	for ci := range frame.Commands {
+		cmd := &frame.Commands[ci]
+		switch cmd.Op {
+		case gltrace.CmdBindProgram:
+			curVS, curFS = cmd.VS, cmd.FS
+		case gltrace.CmdBindTexture:
+			if cmd.Unit == 0 {
+				curTex = int32(cmd.Texture)
+			}
+		case gltrace.CmdClear:
+			// On-chip tile buffers clear at tile start; no memory
+			// traffic and negligible time.
+		case gltrace.CmdDraw:
+			mesh := &s.trace.Meshes[cmd.Mesh]
+			vsCost := s.vsCost[curVS]
+
+			// Vertex fetch + vertex shading. Each indexed vertex is
+			// fetched and shaded once per draw.
+			nv := len(mesh.Vertices)
+			st.VerticesShaded += uint64(nv)
+			st.VSInstrs += uint64(nv) * uint64(vsCost.Instructions)
+			base := s.meshBase[cmd.Mesh]
+			var drawShaded uint64
+			for v := 0; v < nv; v++ {
+				fetchClock++
+				addr := base + uint64(v*gltrace.BytesPerVertex)
+				fetchDone := s.vcache.Access(fetchClock, addr, false)
+				enter := s.vertexQ.Admit(fetchDone)
+				// Dispatch to the first free vertex processor.
+				vpi := 0
+				for i := 1; i < len(s.vpFree); i++ {
+					if s.vpFree[i] < s.vpFree[vpi] {
+						vpi = i
+					}
+				}
+				start := maxU(enter, s.vpFree[vpi])
+				done := start + uint64(vsCost.Instructions)
+				st.VPBusyCycles += uint64(vsCost.Instructions)
+				s.vpFree[vpi] = done
+				s.vertexQ.Commit(done)
+				if done > drawShaded {
+					drawShaded = done
+				}
+			}
+			if drawShaded > lastDone {
+				lastDone = drawShaded
+			}
+
+			// Geometry processing (visibility) is computed by the
+			// shared rasterizer front end; timing is charged below.
+			s.triBuf = s.triBuf[:0]
+			tris, gstats := raster.ProcessDraw(mesh, cmd.MVP, vp, cmd.DepthBias, s.triBuf)
+			s.triBuf = tris[:0]
+			st.PrimsIn += uint64(gstats.PrimsIn)
+			st.PrimsVisible += uint64(gstats.Visible)
+
+			// Primitive assembly consumes 3 vertices/prim at 1
+			// vertex/cycle; clipping 1 prim/cycle.
+			visIdx := 0
+			for p := 0; p < gstats.PrimsIn; p++ {
+				paClock = maxU(paClock+3, drawShaded)
+				clipClock = maxU(clipClock+1, paClock)
+			}
+			if clipClock > lastDone {
+				lastDone = clipClock
+			}
+
+			// Tiling Engine: bin each visible prim into overlapped
+			// tiles, writing one record per (prim, tile) through L2.
+			for t := range tris {
+				triIdx := int32(len(s.tris))
+				s.tris = append(s.tris, boundTri{tri: tris[t], fs: int32(curFS), tex: curTex, blend: cmd.Blend})
+				tx0, ty0, tx1, ty1, ok := tris[t].Tri.OverlappedTiles(s.cfg.TileSize, s.tilesX, s.tilesY)
+				if !ok {
+					continue
+				}
+				for ty := ty0; ty <= ty1; ty++ {
+					for tx := tx0; tx <= tx1; tx++ {
+						bin := ty*s.tilesX + tx
+						s.bins[bin] = append(s.bins[bin], triIdx)
+						s.binRec[bin] = append(s.binRec[bin], plbAddr)
+						st.TileEntries++
+						enter := s.triangleQ.Admit(maxU(plbClock+1, clipClock))
+						plbClock = enter
+						done := s.l2.Access(enter, plbAddr, true)
+						s.triangleQ.Commit(done)
+						plbAddr += plbRecordBytes
+						if done > lastDone {
+							lastDone = done
+						}
+					}
+				}
+				visIdx++
+			}
+		}
+	}
+	end := maxU(fetchClock, maxU(paClock, maxU(clipClock, plbClock)))
+	for _, v := range s.vpFree {
+		end = maxU(end, v)
+	}
+	return maxU(end, lastDone)
+}
+
+// rasterPass simulates the Raster Pipeline: tiles are processed one at a
+// time; within a tile the rasterizer, Early-Z, the fragment processors
+// and the blender run as a pipeline. Returns the completion cycle.
+func (s *Simulator) rasterPass(st *FrameStats, start uint64) uint64 {
+	vp := s.trace.Viewport
+	s.depth.Clear()
+	clock := start
+	tileLines := uint64(s.cfg.TileSize*s.cfg.TileSize*4) / uint64(s.cfg.L2.LineBytes)
+	if tileLines == 0 {
+		tileLines = 1
+	}
+
+	for ty := 0; ty < s.tilesY; ty++ {
+		for tx := 0; tx < s.tilesX; tx++ {
+			bin := ty*s.tilesX + tx
+			clip := geom.AABB2{
+				Min: geom.Vec2{X: float64(tx * s.cfg.TileSize), Y: float64(ty * s.cfg.TileSize)},
+				Max: geom.Vec2{X: float64(min(tx*s.cfg.TileSize+s.cfg.TileSize, vp.Width)),
+					Y: float64(min(ty*s.cfg.TileSize+s.cfg.TileSize, vp.Height))},
+			}
+
+			var tileDone uint64
+			if s.cfg.DeferredShading {
+				tileDone = s.deferredTile(st, bin, clip, clock)
+			} else {
+				tileDone = s.immediateTile(st, bin, clip, clock)
+			}
+
+			// Tile writeback: the resolved tile colors stream to the
+			// framebuffer through L2 at one line per cycle.
+			fbAddr := fbRegion + uint64(bin)*uint64(s.cfg.TileSize*s.cfg.TileSize*4)
+			wClock := tileDone
+			for l := uint64(0); l < tileLines; l++ {
+				wClock++
+				done := s.l2.Access(wClock, fbAddr+l*uint64(s.cfg.L2.LineBytes), true)
+				st.FramebufferLines++
+				if done > tileDone {
+					tileDone = done
+				}
+			}
+			tileDone = maxU(tileDone, wClock)
+			clock = tileDone
+		}
+	}
+	return clock
+}
+
+// immediateTile processes one tile in the classic TBR order: each
+// primitive's quads go through Early-Z and, when any sample survives,
+// straight to the fragment processors. Returns the tile completion
+// cycle.
+func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+	var (
+		listClock  = clock
+		rastClock  = clock
+		ezClock    = clock
+		blendClock = clock
+		tileDone   = clock
+	)
+	for i := range s.fpFree {
+		s.fpFree[i] = clock
+	}
+
+	for bi, triIdx := range s.bins[bin] {
+		bt := &s.tris[triIdx]
+		// Read the primitive record through the tile cache.
+		listClock++
+		listDone := s.tilecache.Access(listClock, s.binRec[bin][bi], false)
+
+		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
+			st.QuadsRasterized++
+			rastClock = maxU(rastClock+1, listDone)
+			// Early Z at 1 quad/cycle; back-pressure comes from the
+			// fragment queue below.
+			ezClock = maxU(ezClock+1, rastClock)
+			covered := q.Coverage()
+			if bt.blend {
+				q.Mask = s.depth.TestQuadReadOnly(q)
+			} else {
+				q.Mask = s.depth.TestQuad(q)
+			}
+			alive := q.Coverage()
+			st.FragmentsOccluded += uint64(covered - alive)
+			if alive == 0 {
+				return
+			}
+			fpDone := s.shadeQuad(st, bt, q, ezClock, alive)
+			// Blending into the on-chip color buffer.
+			cEnter := s.colorQ.Admit(fpDone)
+			blendClock = maxU(blendClock+1, cEnter)
+			s.colorQ.Commit(blendClock)
+			st.BlendOps++
+			if blendClock > tileDone {
+				tileDone = blendClock
+			}
+		})
+	}
+
+	for _, v := range s.fpFree {
+		tileDone = maxU(tileDone, v)
+	}
+	return maxU(tileDone, maxU(rastClock, maxU(ezClock, blendClock)))
+}
+
+// deferredTile processes one tile TBDR-style: a Hidden Surface Removal
+// pass depth-resolves every primitive first, then only the fragments
+// that ended up visible are shaded. Returns the tile completion cycle.
+func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+	var (
+		listClock  = clock
+		rastClock  = clock
+		ezClock    = clock
+		blendClock = clock
+		tileDone   = clock
+	)
+	for i := range s.fpFree {
+		s.fpFree[i] = clock
+	}
+	s.deferred = s.deferred[:0]
+	s.transparent = s.transparent[:0]
+
+	// Pass 1: HSR — rasterize and depth-test all opaque geometry; no
+	// shading. Alpha-blended quads cannot participate in hidden-surface
+	// removal (they do not occlude); they are queued for the
+	// transparency pass after the opaque depth is resolved.
+	var covered uint64
+	for bi, triIdx := range s.bins[bin] {
+		bt := &s.tris[triIdx]
+		listClock++
+		listDone := s.tilecache.Access(listClock, s.binRec[bin][bi], false)
+		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
+			st.QuadsRasterized++
+			rastClock = maxU(rastClock+1, listDone)
+			ezClock = maxU(ezClock+1, rastClock)
+			covered += uint64(q.Coverage())
+			if bt.blend {
+				s.transparent = append(s.transparent, deferredQuad{q: *q, tri: triIdx})
+				return
+			}
+			if s.depth.TestQuad(q) == 0 {
+				return // already behind a resolved surface
+			}
+			s.deferred = append(s.deferred, deferredQuad{q: *q, tri: triIdx})
+		})
+	}
+	hsrDone := maxU(rastClock, ezClock)
+
+	// Pass 2: shade only quads whose samples own the final depth value.
+	// shadedPix guards against double-shading when two fragments tie.
+	if cap(s.shadedPix) < s.cfg.TileSize*s.cfg.TileSize {
+		s.shadedPix = make([]bool, s.cfg.TileSize*s.cfg.TileSize)
+	}
+	shaded := s.shadedPix[:s.cfg.TileSize*s.cfg.TileSize]
+	for i := range shaded {
+		shaded[i] = false
+	}
+	tx0 := int(clip.Min.X)
+	ty0 := int(clip.Min.Y)
+
+	issue := hsrDone
+	var shadedFrags uint64
+	for di := range s.deferred {
+		d := &s.deferred[di]
+		bt := &s.tris[d.tri]
+		var visible uint8
+		for smp := 0; smp < 4; smp++ {
+			if d.q.Mask&(1<<smp) == 0 {
+				continue
+			}
+			x := d.q.X + (smp & 1)
+			y := d.q.Y + (smp >> 1)
+			// The buffer stores float32; compare at that precision.
+			if float32(s.depth.At(x, y)) != float32(d.q.Depth[smp]) {
+				continue
+			}
+			pi := (y-ty0)*s.cfg.TileSize + (x - tx0)
+			if pi < 0 || pi >= len(shaded) || shaded[pi] {
+				continue
+			}
+			shaded[pi] = true
+			visible |= 1 << smp
+		}
+		if visible == 0 {
+			continue
+		}
+		d.q.Mask = visible
+		alive := d.q.Coverage()
+		shadedFrags += uint64(alive)
+		issue++
+		fpDone := s.shadeQuad(st, bt, &d.q, issue, alive)
+		cEnter := s.colorQ.Admit(fpDone)
+		blendClock = maxU(blendClock+1, cEnter)
+		s.colorQ.Commit(blendClock)
+		st.BlendOps++
+		if blendClock > tileDone {
+			tileDone = blendClock
+		}
+	}
+	// Pass 3: transparency — blended quads test against the final
+	// opaque depth (read-only) and shade in submission order; multiple
+	// transparent layers over a pixel all shade (they stack).
+	for di := range s.transparent {
+		d := &s.transparent[di]
+		bt := &s.tris[d.tri]
+		visible := s.depth.TestQuadReadOnly(&d.q)
+		if visible == 0 {
+			continue
+		}
+		d.q.Mask = visible
+		alive := d.q.Coverage()
+		shadedFrags += uint64(alive)
+		issue++
+		fpDone := s.shadeQuad(st, bt, &d.q, issue, alive)
+		cEnter := s.colorQ.Admit(fpDone)
+		blendClock = maxU(blendClock+1, cEnter)
+		s.colorQ.Commit(blendClock)
+		st.BlendOps++
+		if blendClock > tileDone {
+			tileDone = blendClock
+		}
+	}
+	st.FragmentsOccluded += covered - shadedFrags
+
+	for _, v := range s.fpFree {
+		tileDone = maxU(tileDone, v)
+	}
+	return maxU(tileDone, maxU(hsrDone, blendClock))
+}
+
+// shadeQuad dispatches one surviving quad to the least-loaded fragment
+// processor, charging ALU time and the texture-fetch chain, and returns
+// the completion cycle. alive is the covered-fragment count of q.
+func (s *Simulator) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, ready uint64, alive int) uint64 {
+	fsCost := s.fsCost[bt.fs]
+	fsTex := s.fsTex[bt.fs]
+	st.FragmentsShaded += uint64(alive)
+	// Each live fragment executes the program on its own SIMD lane; the
+	// quad occupies the processor for Instructions cycles regardless of
+	// coverage.
+	st.FSInstrs += uint64(alive) * uint64(fsCost.Instructions)
+
+	enter := s.fragmentQ.Admit(ready)
+	fpi := 0
+	for i := 1; i < len(s.fpFree); i++ {
+		if s.fpFree[i] < s.fpFree[fpi] {
+			fpi = i
+		}
+	}
+	fpStart := maxU(enter, s.fpFree[fpi])
+
+	// Texture fetches: taps coalesce to distinct cache lines within the
+	// quad's footprint.
+	texDone := fpStart
+	if len(fsTex) > 0 {
+		texDone = s.textureChain(fpStart, bt.tex, fsTex, q, st)
+	}
+	aluDone := fpStart + uint64(fsCost.Instructions)
+	fpDone := maxU(aluDone, texDone)
+	st.FPBusyCycles += fpDone - fpStart
+	s.fpFree[fpi] = fpDone
+	s.fragmentQ.Commit(fpDone)
+	return fpDone
+}
+
+// textureChain issues the texture accesses of one shaded quad and
+// returns the completion cycle. Filter taps that fall on the same cache
+// line coalesce (quad-level texture locality), but the logical
+// filter-weighted access count is recorded in the statistics.
+func (s *Simulator) textureChain(start uint64, tex int32, fetches []texFetch, q *raster.Quad, st *FrameStats) uint64 {
+	texture := &s.trace.Textures[tex]
+	base := s.texBase[tex]
+	cur := start
+	for fi := range fetches {
+		f := &fetches[fi]
+		st.TexAccesses += uint64(f.taps)
+		cache := s.tcaches[f.sampler%len(s.tcaches)]
+
+		// Wrap UVs and locate the base texel. Different samplers
+		// perturb coordinates so multi-layer materials touch
+		// different texture regions.
+		u := q.U + float64(f.sampler)*0.37
+		v := q.V + float64(f.sampler)*0.19
+		u -= math.Floor(u)
+		v -= math.Floor(v)
+		tx := int(u * float64(texture.Width))
+		tyy := int(v * float64(texture.Height))
+		if tx >= texture.Width {
+			tx = texture.Width - 1
+		}
+		if tyy >= texture.Height {
+			tyy = texture.Height - 1
+		}
+
+		lineBytes := uint64(s.cfg.TextureCache.LineBytes)
+		var lines [3]uint64
+		n := 0
+		add := func(addr uint64) {
+			ln := addr / lineBytes
+			for i := 0; i < n; i++ {
+				if lines[i] == ln {
+					return
+				}
+			}
+			if n < len(lines) {
+				lines[n] = ln
+				n++
+			}
+		}
+		texel := func(x, y int) uint64 {
+			if x >= texture.Width {
+				x = texture.Width - 1
+			}
+			if y >= texture.Height {
+				y = texture.Height - 1
+			}
+			return base + uint64((y*texture.Width+x)*texture.BytesPerTexel)
+		}
+		switch f.filter {
+		case shader.FilterNearest:
+			add(texel(tx, tyy))
+		case shader.FilterLinear:
+			add(texel(tx, tyy))
+			add(texel(tx+1, tyy))
+		case shader.FilterBilinear:
+			add(texel(tx, tyy))
+			add(texel(tx+1, tyy))
+			add(texel(tx, tyy+1))
+		case shader.FilterTrilinear:
+			add(texel(tx, tyy))
+			add(texel(tx+1, tyy))
+			// Second mip level lives past the base image.
+			mip := base + uint64(texture.SizeBytes())
+			add(mip + uint64(((tyy/2)*(texture.Width/2)+tx/2)*texture.BytesPerTexel))
+		}
+		for i := 0; i < n; i++ {
+			cur = cache.Access(cur+1, lines[i]*lineBytes, false)
+		}
+	}
+	return cur
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
