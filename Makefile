@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is the full gate the CI workflow
+# runs: vet, build, race-enabled tests, a one-iteration bench smoke and
+# short fuzz smokes of every fuzz target.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke fuzz-smoke
+
+ci: vet build race bench-smoke fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bitrot in the bench suite
+# without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# -fuzz must match exactly one target per package, so each fuzz target
+# gets its own short invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/gltrace
+	$(GO) test -run '^$$' -fuzz '^FuzzGeneratedProgramExec$$' -fuzztime 5s ./internal/shader
+	$(GO) test -run '^$$' -fuzz '^FuzzValidateArbitraryPrograms$$' -fuzztime 5s ./internal/shader

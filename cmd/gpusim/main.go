@@ -19,19 +19,22 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/power"
+	"repro/internal/report"
 	"repro/megsim"
 )
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace file produced by tracegen")
-		benchmark = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
-		frames    = flag.String("frames", "", "frame range lo:hi (default: all)")
-		frameDiv  = flag.Int("frame-div", 1, "frame divisor when generating")
-		perFrame  = flag.Bool("per-frame", false, "print one line per frame")
-		tbdr      = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
-		csvPath   = flag.String("csv", "", "write per-frame statistics as CSV to this file")
-		watts     = flag.Bool("watts", false, "report estimated average power (1 energy unit = 1 pJ)")
+		tracePath  = flag.String("trace", "", "trace file produced by tracegen")
+		benchmark  = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
+		frames     = flag.String("frames", "", "frame range lo:hi (default: all)")
+		frameDiv   = flag.Int("frame-div", 1, "frame divisor when generating")
+		perFrame   = flag.Bool("per-frame", false, "print one line per frame")
+		tbdr       = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
+		csvPath    = flag.String("csv", "", "write per-frame statistics as CSV to this file")
+		watts      = flag.Bool("watts", false, "report estimated average power (1 energy unit = 1 pJ)")
+		metricsOut = flag.String("metrics-out", "", "write observability metrics (counters/histograms) as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON timeline (chrome://tracing, Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +53,11 @@ func main() {
 
 	gpu := megsim.DefaultGPUConfig()
 	gpu.DeferredShading = *tbdr
+	var reg *megsim.ObsRegistry
+	if *metricsOut != "" || *traceOut != "" {
+		reg = megsim.NewObsRegistry(0)
+		gpu.Obs = reg
+	}
 	sim, err := megsim.NewSimulator(gpu, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
@@ -85,6 +93,15 @@ func main() {
 		f.Close()
 	}
 
+	var snap *megsim.ObsSnapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+		if err := writeObsOutputs(snap, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+	}
+
 	model := power.DefaultEnergyModel()
 	b := model.FrameEnergy(&total)
 	g, ti, ra := b.Fractions()
@@ -106,6 +123,45 @@ func main() {
 		w := power.AveragePowerWatts(b, total.Cycles, 1.0, 600)
 		fmt.Printf("avg power:         %.3f W (at 600 MHz, 1 pJ/unit)\n", w)
 	}
+	if snap != nil {
+		fmt.Println()
+		if err := report.ObsCounterTable(snap).Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObsOutputs writes the observability snapshot to the requested
+// files: metrics as JSON, the timeline as Chrome trace-format JSON.
+func writeObsOutputs(snap *megsim.ObsSnapshot, metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {

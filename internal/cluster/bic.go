@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/xmath/stats"
 )
 
@@ -72,6 +73,9 @@ type SearchConfig struct {
 	// search. The paper stops at the first BIC drop (Patience = 1);
 	// the default 3 tolerates k-means seed noise.
 	Patience int
+	// Obs, when non-nil and enabled, receives k-means run/iteration
+	// counters and a per-run iteration histogram from the search.
+	Obs *obs.Registry
 }
 
 // DefaultSearchConfig returns the paper's settings (T = 0.85) with
@@ -132,6 +136,18 @@ func Search(data [][]float64, cfg SearchConfig, rng *stats.RNG) (SearchResult, e
 	const freshRestartEvery = 5
 
 	var (
+		cRuns  = cfg.Obs.Counter("cluster.kmeans.runs")
+		cIters = cfg.Obs.Counter("cluster.kmeans.iterations")
+		hIters = cfg.Obs.Histogram("cluster.kmeans.iterations_per_run")
+	)
+	record := func(res Result) Result {
+		cRuns.Inc()
+		cIters.Add(uint64(res.Iterations))
+		hIters.Observe(uint64(res.Iterations))
+		return res
+	}
+
+	var (
 		results  []Result
 		scores   []float64
 		bestSeen = math.Inf(-1)
@@ -148,7 +164,7 @@ func Search(data [][]float64, cfg SearchConfig, rng *stats.RNG) (SearchResult, e
 			fresh = 0
 		}
 		for r := 0; r < fresh; r++ {
-			res := KMeans(data, k, rng.Split(), cfg.MaxIterations)
+			res := record(KMeans(data, k, rng.Split(), cfg.MaxIterations))
 			if res.WCSS < bestWCSS {
 				best, bestWCSS = res, res.WCSS
 			}
@@ -158,7 +174,7 @@ func Search(data [][]float64, cfg SearchConfig, rng *stats.RNG) (SearchResult, e
 			// clustering with one extra centroid. This keeps WCSS
 			// (near-)monotone in k so the BIC stop rule fires on the
 			// real optimum, not on a k-means local-minimum artifact.
-			res := KMeansSeeded(data, k, rng.Split(), cfg.MaxIterations, prevRes.Centroids)
+			res := record(KMeansSeeded(data, k, rng.Split(), cfg.MaxIterations, prevRes.Centroids))
 			if res.WCSS < bestWCSS {
 				best, bestWCSS = res, res.WCSS
 			}

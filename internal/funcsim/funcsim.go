@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/gltrace"
+	"repro/internal/obs"
 	"repro/internal/raster"
 	"repro/internal/shader"
 )
@@ -72,10 +73,23 @@ func (p proceduralSampler) Sample(unit int, u, v float64, f shader.FilterMode) f
 
 // Run functionally simulates every frame of the trace. The trace must
 // validate.
-func Run(trace *gltrace.Trace) (*Result, error) {
+func Run(trace *gltrace.Trace) (*Result, error) { return RunObs(trace, nil) }
+
+// RunObs is Run with observability: when reg is enabled it receives the
+// characterization workload counters ("funcsim.frames", ".draws",
+// ".fragments") and a per-frame fragment-count histogram
+// ("funcsim.frame_fragments"). A nil registry makes RunObs identical to
+// Run.
+func RunObs(trace *gltrace.Trace, reg *obs.Registry) (*Result, error) {
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
+	var (
+		cFrames    = reg.Counter("funcsim.frames")
+		cDraws     = reg.Counter("funcsim.draws")
+		cFragments = reg.Counter("funcsim.fragments")
+		hFragments = reg.Histogram("funcsim.frame_fragments")
+	)
 	res := &Result{Trace: trace.Name}
 	for _, p := range trace.VertexShaders {
 		res.VSStatic = append(res.VSStatic, p.StaticCost())
@@ -111,6 +125,7 @@ func Run(trace *gltrace.Trace) (*Result, error) {
 			case gltrace.CmdClear:
 				depth.Clear()
 			case gltrace.CmdDraw:
+				cDraws.Inc()
 				mesh := &trace.Meshes[cmd.Mesh]
 				prof.VSCount[curVS] += uint64(len(mesh.Vertices))
 
@@ -154,6 +169,9 @@ func Run(trace *gltrace.Trace) (*Result, error) {
 				}
 			}
 		}
+		cFrames.Inc()
+		cFragments.Add(prof.Fragments)
+		hFragments.Observe(prof.Fragments)
 	}
 	return res, nil
 }

@@ -2,14 +2,40 @@ package gltrace_test
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/gltrace"
+	"repro/internal/scene"
+	"repro/internal/shader"
+	"repro/internal/xmath/stats"
 )
+
+// addTraceSeed serializes a valid trace and adds it to the fuzz corpus.
+func addTraceSeed(f *testing.F, tr *gltrace.Trace) {
+	f.Helper()
+	if err := tr.Validate(); err != nil {
+		f.Fatalf("seed trace invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+}
+
+// seedShaders returns a minimal valid vertex/fragment shader pair.
+func seedShaders() (*shader.Program, *shader.Program) {
+	g := shader.NewGenerator(stats.NewRNG(11))
+	return g.Vertex(shader.SimpleVertex), g.Fragment(shader.SimpleFragment)
+}
 
 // FuzzLoad feeds arbitrary bytes to the trace loader: it must reject
 // garbage with an error, never panic, and anything it accepts must
-// validate.
+// validate. The corpus seeds cover the structural edge cases mutation
+// starts from: empty frames, degenerate geometry, and a max-size
+// command stream.
 func FuzzLoad(f *testing.F) {
 	f.Add([]byte("garbage"))
 	f.Add([]byte{0x1f, 0x8b}) // gzip magic, truncated
@@ -19,6 +45,77 @@ func FuzzLoad(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
+
+	vs, fs := seedShaders()
+
+	// Empty frames: command-less frames and a frame holding only a clear.
+	addTraceSeed(f, &gltrace.Trace{
+		Name:            "empty-frames",
+		Viewport:        geom.Viewport{Width: 64, Height: 32},
+		VertexShaders:   []*shader.Program{vs},
+		FragmentShaders: []*shader.Program{fs},
+		Frames: []gltrace.Frame{
+			{Commands: nil},
+			{},
+			{Commands: []gltrace.Command{{Op: gltrace.CmdClear}}},
+		},
+	})
+
+	// Degenerate triangles: three coincident vertices (zero area, zero
+	// extent) and a collinear sliver, drawn with extreme depth bias.
+	point := gltrace.Mesh{
+		Name: "point",
+		Vertices: []gltrace.Vertex{
+			{Pos: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}},
+			{Pos: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}},
+			{Pos: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}},
+		},
+		Indices: []int{0, 1, 2},
+	}
+	sliver := gltrace.Mesh{
+		Name: "sliver",
+		Vertices: []gltrace.Vertex{
+			{Pos: geom.Vec3{X: -1, Y: 0, Z: 0}, U: 0, V: 0},
+			{Pos: geom.Vec3{X: 0, Y: 0, Z: 0}, U: 0.5, V: 0.5},
+			{Pos: geom.Vec3{X: 1, Y: 0, Z: 0}, U: 1, V: 1},
+		},
+		Indices: []int{0, 1, 2, 2, 1, 0},
+	}
+	addTraceSeed(f, &gltrace.Trace{
+		Name:            "degenerate",
+		Viewport:        geom.Viewport{Width: 64, Height: 32},
+		VertexShaders:   []*shader.Program{vs},
+		FragmentShaders: []*shader.Program{fs},
+		Meshes:          []gltrace.Mesh{point, sliver, {Name: "empty"}},
+		Frames: []gltrace.Frame{{Commands: []gltrace.Command{
+			{Op: gltrace.CmdBindProgram},
+			{Op: gltrace.CmdDraw, Mesh: 0, MVP: geom.IdentityMat4()},
+			{Op: gltrace.CmdDraw, Mesh: 1, MVP: geom.IdentityMat4(), DepthBias: math.MaxFloat64},
+			{Op: gltrace.CmdDraw, Mesh: 2, MVP: geom.IdentityMat4(), DepthBias: -math.MaxFloat64},
+		}}},
+	})
+
+	// Max-size command stream: one frame with hundreds of commands
+	// re-binding state between draws.
+	big := &gltrace.Trace{
+		Name:            "maxcmds",
+		Viewport:        geom.Viewport{Width: 64, Height: 32},
+		VertexShaders:   []*shader.Program{vs},
+		FragmentShaders: []*shader.Program{fs},
+		Meshes:          []gltrace.Mesh{scene.Quad("q")},
+		Textures:        []gltrace.Texture{{Name: "t", Width: 16, Height: 16, BytesPerTexel: 4}},
+	}
+	cmds := []gltrace.Command{{Op: gltrace.CmdClear}}
+	for i := 0; i < 512; i++ {
+		cmds = append(cmds,
+			gltrace.Command{Op: gltrace.CmdBindProgram},
+			gltrace.Command{Op: gltrace.CmdBindTexture, Unit: i % 8, Texture: 0},
+			gltrace.Command{Op: gltrace.CmdDraw, Mesh: 0, MVP: geom.IdentityMat4(), DepthBias: float64(i) * 1e-6},
+		)
+	}
+	big.Frames = []gltrace.Frame{{Commands: cmds}}
+	addTraceSeed(f, big)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := gltrace.Load(bytes.NewReader(data))
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/funcsim"
 	"repro/internal/gltrace"
+	"repro/internal/obs"
 	"repro/internal/tbr"
 	"repro/internal/workload"
 )
@@ -31,6 +32,25 @@ type Options struct {
 	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Obs, when non-nil and enabled, receives metrics and timeline
+	// spans from every study phase: functional characterization,
+	// cluster selection and cycle simulation. It is threaded into
+	// GPU.Obs and MEGsim.Search.Obs (without overriding registries the
+	// caller set there explicitly).
+	Obs *obs.Registry
+}
+
+// wireObs propagates opts.Obs into the phase configurations.
+func (o *Options) wireObs() {
+	if !o.Obs.Enabled() {
+		return
+	}
+	if o.GPU.Obs == nil {
+		o.GPU.Obs = o.Obs
+	}
+	if o.MEGsim.Search.Obs == nil {
+		o.MEGsim.Search.Obs = o.Obs
+	}
 }
 
 // DefaultOptions returns paper-default settings at the experiment scale.
@@ -82,6 +102,7 @@ type BenchmarkResult struct {
 // functional characterization, MEGsim selection, full-sequence ground
 // truth, representative-only simulation, and accuracy evaluation.
 func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
+	opts.wireObs()
 	res := &BenchmarkResult{Profile: p}
 	logf(opts.Log, "[%s] generating trace", p.Alias)
 	tr, err := workload.Generate(p, opts.Scale)
@@ -92,7 +113,7 @@ func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 
 	logf(opts.Log, "[%s] functional characterization of %d frames", p.Alias, tr.NumFrames())
 	t0 := time.Now()
-	fr, err := funcsim.Run(tr)
+	fr, err := funcsim.RunObs(tr, opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +172,7 @@ func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 // ground-truth pass. Returns the result with Full/FullTotals/Accuracy
 // unset.
 func RunSampledOnly(p workload.Profile, opts Options) (*BenchmarkResult, error) {
+	opts.wireObs()
 	res := &BenchmarkResult{Profile: p}
 	tr, err := workload.Generate(p, opts.Scale)
 	if err != nil {
@@ -158,7 +180,7 @@ func RunSampledOnly(p workload.Profile, opts Options) (*BenchmarkResult, error) 
 	}
 	res.Trace = tr
 	t0 := time.Now()
-	fr, err := funcsim.Run(tr)
+	fr, err := funcsim.RunObs(tr, opts.Obs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,29 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// ObsCounterTable renders a snapshot's counters as a two-column table,
+// sorted by metric name, so per-stage pipeline breakdowns print
+// alongside the paper tables.
+func ObsCounterTable(s *obs.Snapshot) *Table {
+	t := NewTable("observability counters", "metric", "value")
+	for _, name := range s.CounterNames() {
+		t.AddRow(name, s.Counters[name])
+	}
+	return t
+}
+
+// ObsHistogramTable renders a snapshot's histograms (count, mean, min,
+// max per metric), sorted by metric name.
+func ObsHistogramTable(s *obs.Snapshot) *Table {
+	t := NewTable("observability histograms", "metric", "count", "mean", "min", "max")
+	for _, name := range s.HistogramNames() {
+		h := s.Histograms[name]
+		t.AddRow(name, h.Count, fmt.Sprintf("%.1f", h.Mean()), h.Min, h.Max)
+	}
+	return t
+}

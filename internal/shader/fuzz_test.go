@@ -1,6 +1,7 @@
 package shader
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/xmath/stats"
@@ -14,6 +15,12 @@ func FuzzGeneratedProgramExec(f *testing.F) {
 	f.Add(uint64(1), 0.0, 0.0, 0.0, 0.0)
 	f.Add(uint64(42), 1.5, -2.5, 1e10, -1e-10)
 	f.Add(uint64(99), -1.0, 0.5, 3.14, 2.71)
+	// Non-finite and extreme inputs: execution must stay panic-free when
+	// registers carry infinities, NaNs, extremes and denormals.
+	f.Add(uint64(3), math.Inf(1), math.Inf(-1), math.NaN(), 0.0)
+	f.Add(uint64(1234567), math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, -0.0)
+	f.Add(uint64(0), math.NaN(), math.NaN(), math.NaN(), math.NaN())
+	f.Add(^uint64(0), 1e-300, -1e300, 5e-324, math.Pi)
 	f.Fuzz(func(t *testing.T, seed uint64, r0, r1, r2, r3 float64) {
 		g := NewGenerator(stats.NewRNG(seed))
 		for _, p := range []*Program{
@@ -40,6 +47,12 @@ func FuzzGeneratedProgramExec(f *testing.F) {
 func FuzzValidateArbitraryPrograms(f *testing.F) {
 	f.Add(uint64(7), 5, 4, 0, 0)
 	f.Add(uint64(9), 20, 99, -3, 12)
+	// Boundary cases: zero-length request (clamped to 1), int extremes
+	// on every operand index, max seed, and negative-heavy registers.
+	f.Add(uint64(0), 0, 0, 0, 0)
+	f.Add(^uint64(0), math.MaxInt, math.MaxInt, math.MinInt, math.MinInt)
+	f.Add(uint64(13), math.MinInt, -1, -31, -32)
+	f.Add(uint64(255), 32, 31, 30, 29)
 	f.Fuzz(func(t *testing.T, seed uint64, n, dst, srcA, srcB int) {
 		rng := stats.NewRNG(seed)
 		if n < 0 {

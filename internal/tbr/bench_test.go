@@ -1,0 +1,62 @@
+package tbr_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+// BenchmarkSimulateFrameObs measures the observability layer's overhead
+// on the cycle simulator's hot path: "off" is the nil-registry default
+// (every instrumentation point pays one nil check), "on" records the
+// full counter/histogram/span set. The acceptance bar is <2% regression
+// for "off" relative to the uninstrumented baseline.
+func BenchmarkSimulateFrameObs(b *testing.B) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 256, Height: 128, FrameDivisor: 8, DetailDivisor: 1})
+	frame := tr.NumFrames() / 2
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"off", nil},
+		{"on", obs.New()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := tbr.DefaultConfig()
+			cfg.Obs = mode.reg
+			sim, err := tbr.New(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.SimulateFrame(frame)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateAllParallelObs measures the worker-local-registry
+// merge pattern end to end at full parallelism.
+func BenchmarkSimulateAllParallelObs(b *testing.B) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"], workload.TestScale)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tbr.DefaultConfig()
+				if mode == "on" {
+					cfg.Obs = obs.New()
+				}
+				if _, err := tbr.SimulateAllParallel(cfg, tr, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+				if cfg.Obs != nil {
+					cfg.Obs.Snapshot()
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ package tbr
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/tbr/mem"
 )
 
@@ -70,6 +71,14 @@ type Config struct {
 	// how the methodology sidesteps the architectural-state starting
 	// image problem of sampled simulation.
 	FlushCachesPerFrame bool
+
+	// Obs, when non-nil and enabled, receives metrics and per-stage
+	// timeline spans from the simulator (package obs). The parallel
+	// drivers give each worker a local registry and merge them into
+	// this one at join time, so instrumented parallel runs are
+	// race-free and deterministic. Nil disables observability at the
+	// cost of one branch per instrumentation point.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the Table I configuration.

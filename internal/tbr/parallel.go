@@ -7,7 +7,76 @@ import (
 	"sync/atomic"
 
 	"repro/internal/gltrace"
+	"repro/internal/obs"
 )
+
+// testWorkerHook, when non-nil, is called by pool workers before each
+// claimed item. Test-only: it lets tests inject failures mid-run to
+// exercise the abort path.
+var testWorkerHook func(item int)
+
+// runPool runs fn(sim, i) for every i in [0, n) across `workers`
+// goroutines, each with its own Simulator. A failed worker (New error
+// or a panic out of fn, converted to an error) raises an abort flag
+// that every worker checks in its claim loop, so the pool stops
+// promptly instead of draining the remaining items.
+//
+// When cfg.Obs is enabled each worker records into a local registry;
+// the locals are merged into cfg.Obs in worker order after the join, so
+// instrumentation is race-free by construction and — because counters
+// and histograms are additive and snapshot events sort canonically —
+// deterministic regardless of how items were distributed.
+func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simulator, i int)) error {
+	parent := cfg.Obs
+	locals := make([]*obs.Registry, workers)
+	var (
+		next     atomic.Int64
+		abort    atomic.Bool
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		abort.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("tbr: worker %d: %v", w, r))
+				}
+			}()
+			wcfg := cfg
+			if parent.Enabled() {
+				locals[w] = parent.NewLocal()
+				wcfg.Obs = locals[w]
+			}
+			sim, err := New(wcfg, trace)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if h := testWorkerHook; h != nil {
+					h(i)
+				}
+				fn(sim, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, l := range locals {
+		parent.Merge(l)
+	}
+	return firstErr
+}
 
 // SimulateFramesParallel simulates the given frame subset across
 // `workers` goroutines (0 = GOMAXPROCS), returning stats in the same
@@ -39,31 +108,11 @@ func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, work
 		}
 		return out, nil
 	}
-	var next atomic.Int64
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim, err := New(cfg, trace)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(frames) {
-					return
-				}
-				out[i] = sim.SimulateFrame(frames[i])
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := runPool(cfg, trace, workers, len(frames), func(sim *Simulator, i int) {
+		out[i] = sim.SimulateFrame(frames[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -95,34 +144,14 @@ func SimulateAllParallel(cfg Config, trace *gltrace.Trace, workers int, progress
 	}
 
 	out := make([]FrameStats, n)
-	var next atomic.Int64
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim, err := New(cfg, trace)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
-			for {
-				f := int(next.Add(1)) - 1
-				if f >= n {
-					return
-				}
-				out[f] = sim.SimulateFrame(f)
-				if progress != nil {
-					progress(f)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := runPool(cfg, trace, workers, n, func(sim *Simulator, f int) {
+		out[f] = sim.SimulateFrame(f)
+		if progress != nil {
+			progress(f)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

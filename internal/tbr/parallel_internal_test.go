@@ -1,0 +1,59 @@
+package tbr
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestParallelAbortsPromptlyOnWorkerFailure exercises the early-exit
+// path: a worker failure must raise the abort flag, and because workers
+// check it in the claim loop, the pool must stop well before draining
+// the item list.
+func TestParallelAbortsPromptlyOnWorkerFailure(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+
+	const n = 64
+	frames := make([]int, n)
+
+	var claimed atomic.Int64
+	testWorkerHook = func(item int) {
+		if claimed.Add(1) == 3 {
+			panic("injected failure")
+		}
+	}
+	defer func() { testWorkerHook = nil }()
+
+	_, err := SimulateFramesParallel(DefaultConfig(), tr, frames, 4)
+	if err == nil {
+		t.Fatal("pool swallowed the worker failure")
+	}
+	if !strings.Contains(err.Error(), "worker") || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("error lost the failure cause: %v", err)
+	}
+	if got := claimed.Load(); got >= n {
+		t.Fatalf("pool drained all %d items (%d claims) despite the failure", n, got)
+	}
+}
+
+// TestParallelFirstErrorWins: with several failing workers only one
+// error must surface, and the result slice must be nil.
+func TestParallelFirstErrorWins(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+
+	frames := make([]int, 16)
+	testWorkerHook = func(item int) { panic("boom") }
+	defer func() { testWorkerHook = nil }()
+
+	out, err := SimulateFramesParallel(DefaultConfig(), tr, frames, 4)
+	if err == nil {
+		t.Fatal("no error surfaced")
+	}
+	if out != nil {
+		t.Fatalf("got partial results alongside the error: %d frames", len(out))
+	}
+}

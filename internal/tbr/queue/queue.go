@@ -13,7 +13,11 @@
 //	q.Commit(done)         // the slot frees at done
 package queue
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Stats counts queue activity.
 type Stats struct {
@@ -32,6 +36,13 @@ type Queue struct {
 	head    int
 	pending bool
 	Stats   Stats
+
+	// Observability handle, nil unless Instrument was called with an
+	// enabled registry. Only the occupancy distribution is sampled in
+	// the hot path (it cannot be derived from Stats afterwards); the
+	// additive Stats counters are exported at frame granularity by the
+	// simulator instead, so the uninstrumented Admit pays one nil check.
+	obsOccupancy *obs.Histogram
 }
 
 // New returns a queue with the given number of entries. It panics on a
@@ -49,6 +60,16 @@ func (q *Queue) Name() string { return q.name }
 // Entries returns the queue capacity.
 func (q *Queue) Entries() int { return len(q.doneAt) }
 
+// Instrument resolves a "queue.<name>.occupancy" histogram sampled at
+// each admit. With a nil or disabled registry the queue stays
+// uninstrumented and Admit pays only a nil check.
+func (q *Queue) Instrument(r *obs.Registry) {
+	if !r.Enabled() {
+		return
+	}
+	q.obsOccupancy = r.Histogram("queue." + q.name + ".occupancy")
+}
+
 // Admit returns the earliest cycle >= ready at which the item can enter
 // the queue (waiting for the oldest occupant to leave if full). Each
 // Admit must be followed by exactly one Commit.
@@ -58,6 +79,17 @@ func (q *Queue) Admit(ready uint64) uint64 {
 	}
 	q.pending = true
 	q.Stats.Admitted++
+	if q.obsOccupancy != nil {
+		// Occupancy at admit time: slots whose occupant has not left by
+		// the cycle the new item is ready.
+		occupied := uint64(0)
+		for _, done := range q.doneAt {
+			if done > ready {
+				occupied++
+			}
+		}
+		q.obsOccupancy.Observe(occupied)
+	}
 	free := q.doneAt[q.head]
 	if free > ready {
 		q.Stats.Stalls++

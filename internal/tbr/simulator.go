@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/gltrace"
+	"repro/internal/obs"
 	"repro/internal/raster"
 	"repro/internal/shader"
 	"repro/internal/tbr/mem"
@@ -67,6 +68,76 @@ type Simulator struct {
 	deferred    []deferredQuad
 	transparent []deferredQuad
 	shadedPix   []bool
+
+	// Observability (package obs). The registry and counter handles are
+	// nil when disabled. The simulation hot paths stay uninstrumented:
+	// additive metrics (cache hits, DRAM traffic, queue stalls) are
+	// exported once per frame from the per-frame stat deltas the
+	// simulator computes anyway, the stage-end markers are folded in at
+	// tile/pass granularity, and the only per-event cost left is the
+	// queues' occupancy nil check.
+	obs            *obs.Registry
+	cFrames        *obs.Counter
+	cGeomCycles    *obs.Counter
+	cTilingCycles  *obs.Counter
+	cRasterCycles  *obs.Counter
+	cFragBusy      *obs.Counter
+	hFrameCycles   *obs.Histogram
+	obsVCache      cacheObs
+	obsTexCache    cacheObs
+	obsTileCache   cacheObs
+	obsL2          cacheObs
+	cDRAMReads     *obs.Counter
+	cDRAMWrites    *obs.Counter
+	cDRAMRowHits   *obs.Counter
+	cDRAMRowMisses *obs.Counter
+	obsQueues      []*queueObs
+	frameTilingEnd uint64 // completion cycle of the frame's last PLB write
+	frameFPEnd     uint64 // completion cycle of the frame's last shaded quad
+}
+
+// cacheObs exports one cache's per-frame stat deltas as counters.
+type cacheObs struct {
+	hits, misses, writebacks *obs.Counter
+}
+
+func newCacheObs(r *obs.Registry, name string) cacheObs {
+	return cacheObs{
+		hits:       r.Counter("mem." + name + ".hits"),
+		misses:     r.Counter("mem." + name + ".misses"),
+		writebacks: r.Counter("mem." + name + ".writebacks"),
+	}
+}
+
+func (c *cacheObs) record(st mem.CacheStats) {
+	c.hits.Add(st.Hits)
+	c.misses.Add(st.Misses)
+	c.writebacks.Add(st.Writebacks)
+}
+
+// queueObs exports one queue's per-frame stat deltas as counters; start
+// snapshots the cumulative Stats at frame begin.
+type queueObs struct {
+	q                             *queue.Queue
+	start                         queue.Stats
+	admitted, stalls, stallCycles *obs.Counter
+}
+
+func newQueueObs(r *obs.Registry, q *queue.Queue) *queueObs {
+	q.Instrument(r) // occupancy histogram, sampled at each admit
+	return &queueObs{
+		q:           q,
+		admitted:    r.Counter("queue." + q.Name() + ".admitted"),
+		stalls:      r.Counter("queue." + q.Name() + ".stalls"),
+		stallCycles: r.Counter("queue." + q.Name() + ".stall_cycles"),
+	}
+}
+
+func (qo *queueObs) record() {
+	d := qo.q.Stats
+	qo.admitted.Add(d.Admitted - qo.start.Admitted)
+	qo.stalls.Add(d.Stalls - qo.start.Stalls)
+	qo.stallCycles.Add(d.StallCycles - qo.start.StallCycles)
 }
 
 // deferredQuad is a depth-surviving quad awaiting the HSR shade pass.
@@ -147,6 +218,27 @@ func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
 	s.binRec = make([][]uint64, s.tilesX*s.tilesY)
 	s.vpFree = make([]uint64, cfg.NumVertexProcessors)
 	s.fpFree = make([]uint64, cfg.NumFragmentProcessors)
+
+	if cfg.Obs.Enabled() {
+		s.obs = cfg.Obs
+		s.cFrames = cfg.Obs.Counter("tbr.frames")
+		s.cGeomCycles = cfg.Obs.Counter("tbr.geometry.cycles")
+		s.cTilingCycles = cfg.Obs.Counter("tbr.tiling.cycles")
+		s.cRasterCycles = cfg.Obs.Counter("tbr.raster.cycles")
+		s.cFragBusy = cfg.Obs.Counter("tbr.fragment.busy_cycles")
+		s.hFrameCycles = cfg.Obs.Histogram("tbr.frame_cycles")
+		s.obsVCache = newCacheObs(cfg.Obs, "vertex")
+		s.obsTexCache = newCacheObs(cfg.Obs, "texture")
+		s.obsTileCache = newCacheObs(cfg.Obs, "tile")
+		s.obsL2 = newCacheObs(cfg.Obs, "l2")
+		s.cDRAMReads = cfg.Obs.Counter("mem.dram.reads")
+		s.cDRAMWrites = cfg.Obs.Counter("mem.dram.writes")
+		s.cDRAMRowHits = cfg.Obs.Counter("mem.dram.row_hits")
+		s.cDRAMRowMisses = cfg.Obs.Counter("mem.dram.row_misses")
+		for _, q := range []*queue.Queue{s.vertexQ, s.triangleQ, s.fragmentQ, s.colorQ} {
+			s.obsQueues = append(s.obsQueues, newQueueObs(cfg.Obs, q))
+		}
+	}
 	return s, nil
 }
 
@@ -200,6 +292,8 @@ func (s *Simulator) SimulateFrame(f int) FrameStats {
 		panic(fmt.Sprintf("tbr: frame %d out of range [0,%d)", f, s.trace.NumFrames()))
 	}
 	st := FrameStats{Frame: f}
+	s.frameTilingEnd = 0
+	s.frameFPEnd = 0
 
 	// Snapshot memory-system stats to compute per-frame deltas.
 	vc0 := s.vcache.Stats
@@ -211,6 +305,9 @@ func (s *Simulator) SimulateFrame(f int) FrameStats {
 		addCache(&tex0, c.Stats)
 	}
 	q0 := s.queueStallCycles()
+	for _, qo := range s.obsQueues {
+		qo.start = qo.q.Stats
+	}
 
 	if s.cfg.FlushCachesPerFrame {
 		s.coldStart()
@@ -257,7 +354,51 @@ func (s *Simulator) SimulateFrame(f int) FrameStats {
 	}
 	st.TextureCache = subCache(tex1, tex0)
 	st.QueueStallCycles = s.queueStallCycles() - q0
+
+	if s.obs.Enabled() {
+		s.recordFrameObs(&st, geomEnd, flushEnd)
+	}
 	return st
+}
+
+// recordFrameObs emits the frame's per-stage timeline spans and metric
+// updates. Timestamps are simulated cycles; each frame gets its own
+// timeline track (tid), so a Chrome trace shows the four pipeline
+// stages of every frame side by side.
+func (s *Simulator) recordFrameObs(st *FrameStats, geomEnd, flushEnd uint64) {
+	tid := uint64(st.Frame)
+	s.cFrames.Inc()
+	s.cGeomCycles.Add(geomEnd)
+	s.cTilingCycles.Add(s.frameTilingEnd)
+	s.cRasterCycles.Add(st.RasterCycles)
+	s.cFragBusy.Add(st.FPBusyCycles)
+	s.hFrameCycles.Observe(st.Cycles)
+	s.obsVCache.record(st.VertexCache)
+	s.obsTexCache.record(st.TextureCache)
+	s.obsTileCache.record(st.TileCache)
+	s.obsL2.record(st.L2)
+	s.cDRAMReads.Add(st.DRAM.Reads)
+	s.cDRAMWrites.Add(st.DRAM.Writes)
+	s.cDRAMRowHits.Add(st.DRAM.RowHits)
+	s.cDRAMRowMisses.Add(st.DRAM.RowMisses)
+	for _, qo := range s.obsQueues {
+		qo.record()
+	}
+
+	s.obs.Span("frame", tid, 0, st.Cycles, map[string]uint64{
+		"frame":            uint64(st.Frame),
+		"vertices_shaded":  st.VerticesShaded,
+		"fragments_shaded": st.FragmentsShaded,
+		"dram_accesses":    st.DRAM.Accesses,
+	})
+	s.obs.Span("geometry", tid, 0, geomEnd, nil)
+	if s.frameTilingEnd > 0 {
+		s.obs.Span("tiling", tid, 0, s.frameTilingEnd, nil)
+	}
+	s.obs.Span("raster", tid, geomEnd, flushEnd-geomEnd, nil)
+	if s.frameFPEnd > geomEnd {
+		s.obs.Span("fragment", tid, geomEnd, s.frameFPEnd-geomEnd, nil)
+	}
 }
 
 // SimulateAll simulates every frame in order, returning per-frame stats.
@@ -328,6 +469,7 @@ func (s *Simulator) geometryPass(st *FrameStats) uint64 {
 		plbClock   uint64 // polygon list builder, 1 entry/cycle
 		plbAddr    = plbRegion
 		lastDone   uint64
+		tilingEnd  uint64 // completion of the last PLB write
 		curVS      = -1
 		curFS      = -1
 		curTex     int32
@@ -423,12 +565,16 @@ func (s *Simulator) geometryPass(st *FrameStats) uint64 {
 						if done > lastDone {
 							lastDone = done
 						}
+						if done > tilingEnd {
+							tilingEnd = done
+						}
 					}
 				}
 				visIdx++
 			}
 		}
 	}
+	s.frameTilingEnd = tilingEnd
 	end := maxU(fetchClock, maxU(paClock, maxU(clipClock, plbClock)))
 	for _, v := range s.vpFree {
 		end = maxU(end, v)
@@ -495,6 +641,7 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 		blendClock = clock
 		tileDone   = clock
 	)
+	shaded0 := st.FragmentsShaded
 	for i := range s.fpFree {
 		s.fpFree[i] = clock
 	}
@@ -534,6 +681,7 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 		})
 	}
 
+	s.noteFPEnd(st.FragmentsShaded - shaded0)
 	for _, v := range s.fpFree {
 		tileDone = maxU(tileDone, v)
 	}
@@ -551,6 +699,7 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 		blendClock = clock
 		tileDone   = clock
 	)
+	shaded0 := st.FragmentsShaded
 	for i := range s.fpFree {
 		s.fpFree[i] = clock
 	}
@@ -659,6 +808,7 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	}
 	st.FragmentsOccluded += covered - shadedFrags
 
+	s.noteFPEnd(st.FragmentsShaded - shaded0)
 	for _, v := range s.fpFree {
 		tileDone = maxU(tileDone, v)
 	}
@@ -698,6 +848,25 @@ func (s *Simulator) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, read
 	s.fpFree[fpi] = fpDone
 	s.fragmentQ.Commit(fpDone)
 	return fpDone
+}
+
+// noteFPEnd records the completion of a tile's last shaded quad. Called
+// once per tile (shaded counts quads issued there): every fpFree entry
+// is either the tile-start clock or some quad's completion, so when the
+// tile shaded at least one quad, max(fpFree) is the latest completion.
+func (s *Simulator) noteFPEnd(shaded uint64) {
+	if shaded == 0 {
+		return
+	}
+	end := uint64(0)
+	for _, v := range s.fpFree {
+		if v > end {
+			end = v
+		}
+	}
+	if end > s.frameFPEnd {
+		s.frameFPEnd = end
+	}
 }
 
 // textureChain issues the texture accesses of one shaded quad and

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/funcsim"
 	"repro/internal/gltrace"
+	"repro/internal/obs"
 	"repro/internal/simmatrix"
 	"repro/internal/tbr"
 	"repro/internal/workload"
@@ -60,7 +61,25 @@ type (
 	Scale = workload.Scale
 	// Metric identifies one of the evaluated performance metrics.
 	Metric = core.Metric
+	// ObsRegistry is the observability layer's metric + timeline
+	// registry. Attach one to GPUConfig.Obs (or harness options) to
+	// collect per-stage pipeline metrics and Chrome-trace timelines; a
+	// nil registry disables observability at near-zero cost.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a plain-data copy of an ObsRegistry: counters,
+	// histograms and timeline events, serializable as JSON or a Chrome
+	// trace (WriteChromeTrace).
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one timeline entry of an ObsSnapshot.
+	ObsEvent = obs.Event
 )
+
+// NewObsRegistry returns an enabled observability registry with the
+// default timeline capacity. traceCapacity overrides the event ring
+// size (0 = default, negative = metrics only, no timeline).
+func NewObsRegistry(traceCapacity int) *ObsRegistry {
+	return obs.NewWith(obs.Options{TraceCapacity: traceCapacity})
+}
 
 // Metric constants (the four key metrics of the paper's Fig. 7).
 const (
