@@ -1,12 +1,13 @@
 # Developer entry points. `make ci` is the full gate the CI workflow
-# runs: vet, build, race-enabled tests, a one-iteration bench smoke and
-# short fuzz smokes of every fuzz target.
+# runs: vet, build, race-enabled tests, the tile-parallel determinism
+# goldens, a one-iteration bench smoke and short fuzz smokes of every
+# fuzz target.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism bench-smoke tile-bench-smoke fuzz-smoke
 
-ci: vet build race bench-smoke fuzz-smoke
+ci: vet build race determinism bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +21,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Explicit gate on the parallelism guarantees: serial, frame-parallel
+# and tile-parallel (tile-workers 1, 2, 4 and beyond, plus the
+# composition of both axes) must produce byte-identical stats and obs
+# snapshots, race-detector clean.
+determinism:
+	$(GO) test -race -count=1 -run '^TestGoldenDeterminism' ./internal/tbr
+
 # One iteration of every benchmark: catches bitrot in the bench suite
 # without paying for stable measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# One iteration of the tile-parallel raster benchmark across worker
+# counts: keeps the sharded path exercised even if the full bench
+# suite is trimmed.
+tile-bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkTileParallelRaster$$' -benchtime 1x ./internal/tbr
 
 # -fuzz must match exactly one target per package, so each fuzz target
 # gets its own short invocation.

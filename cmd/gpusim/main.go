@@ -7,11 +7,13 @@
 //	gpusim -trace bbr1.trace            # simulate a saved trace
 //	gpusim -benchmark hcr               # generate + simulate
 //	gpusim -benchmark hcr -frames 0:100 # a frame range only
+//	gpusim -benchmark hcr -tile-workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,44 +26,70 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a single error return, so every exit
+// path — including mid-run simulator failures — goes through the same
+// deferred observability flush instead of an os.Exit that would skip it.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gpusim", flag.ContinueOnError)
 	var (
-		tracePath  = flag.String("trace", "", "trace file produced by tracegen")
-		benchmark  = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
-		frames     = flag.String("frames", "", "frame range lo:hi (default: all)")
-		frameDiv   = flag.Int("frame-div", 1, "frame divisor when generating")
-		perFrame   = flag.Bool("per-frame", false, "print one line per frame")
-		tbdr       = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
-		csvPath    = flag.String("csv", "", "write per-frame statistics as CSV to this file")
-		watts      = flag.Bool("watts", false, "report estimated average power (1 energy unit = 1 pJ)")
-		metricsOut = flag.String("metrics-out", "", "write observability metrics (counters/histograms) as JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON timeline (chrome://tracing, Perfetto) to this file")
+		tracePath   = fs.String("trace", "", "trace file produced by tracegen")
+		benchmark   = fs.String("benchmark", "", "generate this benchmark instead of loading a trace")
+		frames      = fs.String("frames", "", "frame range lo:hi (default: all)")
+		frameDiv    = fs.Int("frame-div", 1, "frame divisor when generating")
+		perFrame    = fs.Bool("per-frame", false, "print one line per frame")
+		tbdr        = fs.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
+		tileWorkers = fs.Int("tile-workers", 0, "tile-parallel raster workers per frame (0 = serial raster stage)")
+		csvPath     = fs.String("csv", "", "write per-frame statistics as CSV to this file")
+		watts       = fs.Bool("watts", false, "report estimated average power (1 energy unit = 1 pJ)")
+		metricsOut  = fs.String("metrics-out", "", "write observability metrics (counters/histograms) as JSON to this file")
+		traceOut    = fs.String("trace-out", "", "write a Chrome-trace JSON timeline (chrome://tracing, Perfetto) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tr, err := loadTrace(*tracePath, *benchmark, *frameDiv)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpusim:", err)
-		os.Exit(1)
+		return err
 	}
 	lo, hi := 0, tr.NumFrames()
 	if *frames != "" {
 		if lo, hi, err = parseRange(*frames, tr.NumFrames()); err != nil {
-			fmt.Fprintln(os.Stderr, "gpusim:", err)
-			os.Exit(2)
+			return err
 		}
 	}
 
 	gpu := megsim.DefaultGPUConfig()
 	gpu.DeferredShading = *tbdr
+	gpu.TileWorkers = *tileWorkers
 	var reg *megsim.ObsRegistry
 	if *metricsOut != "" || *traceOut != "" {
 		reg = megsim.NewObsRegistry(0)
 		gpu.Obs = reg
 	}
+	// Flush the requested observability outputs exactly once on EVERY
+	// exit path: a failure mid-run still writes whatever was recorded up
+	// to that point (the partial timeline is precisely what debugging
+	// needs), and the atomic writer cleans up after a failed write.
+	flushed := false
+	flush := func() error {
+		if reg == nil || flushed {
+			return nil
+		}
+		flushed = true
+		return report.WriteObsFiles(reg.Snapshot(), *metricsOut, *traceOut)
+	}
+	defer flush()
+
 	sim, err := megsim.NewSimulator(gpu, tr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpusim:", err)
-		os.Exit(1)
+		return err
 	}
 	var total megsim.FrameStats
 	var series []megsim.FrameStats
@@ -69,7 +97,7 @@ func main() {
 	for f := lo; f < hi; f++ {
 		st := sim.SimulateFrame(f)
 		if *perFrame {
-			fmt.Printf("frame %5d: cycles=%d dram=%d l2=%d tile=%d fragments=%d\n",
+			fmt.Fprintf(stdout, "frame %5d: cycles=%d dram=%d l2=%d tile=%d fragments=%d\n",
 				f, st.Cycles, st.DRAM.Accesses, st.L2.Accesses, st.TileCache.Accesses, st.FragmentsShaded)
 		}
 		if *csvPath != "" {
@@ -82,23 +110,22 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpusim:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := harness.WriteFrameStatsCSV(f, series); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "gpusim:", err)
-			os.Exit(1)
+			return err
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	var snap *megsim.ObsSnapshot
 	if reg != nil {
 		snap = reg.Snapshot()
-		if err := writeObsOutputs(snap, *metricsOut, *traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "gpusim:", err)
-			os.Exit(1)
+		if err := flush(); err != nil {
+			return err
 		}
 	}
 
@@ -106,58 +133,26 @@ func main() {
 	b := model.FrameEnergy(&total)
 	g, ti, ra := b.Fractions()
 
-	fmt.Printf("workload:          %s (%d frames simulated in %v)\n", tr.Name, hi-lo, elapsed.Round(time.Millisecond))
-	fmt.Printf("cycles:            %d (geometry %d, raster %d)\n", total.Cycles, total.GeometryCycles, total.RasterCycles)
-	fmt.Printf("ipc:               %.2f\n", total.IPC())
-	fmt.Printf("vertices shaded:   %d\n", total.VerticesShaded)
-	fmt.Printf("primitives:        %d in, %d visible\n", total.PrimsIn, total.PrimsVisible)
-	fmt.Printf("fragments shaded:  %d (%d occluded by early-Z)\n", total.FragmentsShaded, total.FragmentsOccluded)
-	fmt.Printf("dram accesses:     %d\n", total.DRAM.Accesses)
-	fmt.Printf("l2 accesses:       %d (%.1f%% hit)\n", total.L2.Accesses, total.L2.HitRate()*100)
-	fmt.Printf("tile cache:        %d accesses (%.1f%% hit)\n", total.TileCache.Accesses, total.TileCache.HitRate()*100)
-	fmt.Printf("texture caches:    %d accesses (%.1f%% hit)\n", total.TextureCache.Accesses, total.TextureCache.HitRate()*100)
-	fmt.Printf("utilization:       VP %.1f%%, FP %.1f%%\n",
+	fmt.Fprintf(stdout, "workload:          %s (%d frames simulated in %v)\n", tr.Name, hi-lo, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "cycles:            %d (geometry %d, raster %d)\n", total.Cycles, total.GeometryCycles, total.RasterCycles)
+	fmt.Fprintf(stdout, "ipc:               %.2f\n", total.IPC())
+	fmt.Fprintf(stdout, "vertices shaded:   %d\n", total.VerticesShaded)
+	fmt.Fprintf(stdout, "primitives:        %d in, %d visible\n", total.PrimsIn, total.PrimsVisible)
+	fmt.Fprintf(stdout, "fragments shaded:  %d (%d occluded by early-Z)\n", total.FragmentsShaded, total.FragmentsOccluded)
+	fmt.Fprintf(stdout, "dram accesses:     %d\n", total.DRAM.Accesses)
+	fmt.Fprintf(stdout, "l2 accesses:       %d (%.1f%% hit)\n", total.L2.Accesses, total.L2.HitRate()*100)
+	fmt.Fprintf(stdout, "tile cache:        %d accesses (%.1f%% hit)\n", total.TileCache.Accesses, total.TileCache.HitRate()*100)
+	fmt.Fprintf(stdout, "texture caches:    %d accesses (%.1f%% hit)\n", total.TextureCache.Accesses, total.TextureCache.HitRate()*100)
+	fmt.Fprintf(stdout, "utilization:       VP %.1f%%, FP %.1f%%\n",
 		total.VPUtilization(gpu.NumVertexProcessors)*100, total.FPUtilization(gpu.NumFragmentProcessors)*100)
-	fmt.Printf("power fractions:   geometry %.1f%%, tiling %.1f%%, raster %.1f%%\n", g*100, ti*100, ra*100)
+	fmt.Fprintf(stdout, "power fractions:   geometry %.1f%%, tiling %.1f%%, raster %.1f%%\n", g*100, ti*100, ra*100)
 	if *watts {
 		w := power.AveragePowerWatts(b, total.Cycles, 1.0, 600)
-		fmt.Printf("avg power:         %.3f W (at 600 MHz, 1 pJ/unit)\n", w)
+		fmt.Fprintf(stdout, "avg power:         %.3f W (at 600 MHz, 1 pJ/unit)\n", w)
 	}
 	if snap != nil {
-		fmt.Println()
-		if err := report.ObsCounterTable(snap).Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "gpusim:", err)
-			os.Exit(1)
-		}
-	}
-}
-
-// writeObsOutputs writes the observability snapshot to the requested
-// files: metrics as JSON, the timeline as Chrome trace-format JSON.
-func writeObsOutputs(snap *megsim.ObsSnapshot, metricsPath, tracePath string) error {
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		fmt.Fprintln(stdout)
+		if err := report.ObsCounterTable(snap).Render(stdout); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseRange(t *testing.T) {
 	cases := []struct {
@@ -45,5 +52,85 @@ func TestLoadTraceValidation(t *testing.T) {
 	}
 	if _, err := loadTrace("", "not-a-benchmark", 1); err == nil {
 		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+// mustValidJSON fails the test unless path holds well-formed JSON.
+func mustValidJSON(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("obs output missing: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("%s is not valid JSON (%d bytes)", path, len(data))
+	}
+}
+
+// TestRunWritesObsOutputs exercises the happy path end to end: a tiny
+// generated benchmark with the tile-parallel raster stage enabled must
+// leave well-formed metrics and Chrome-trace files behind.
+func TestRunWritesObsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	var out strings.Builder
+	err := run([]string{
+		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:2",
+		"-tile-workers", "2",
+		"-metrics-out", metrics, "-trace-out", trace,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidJSON(t, metrics)
+	mustValidJSON(t, trace)
+	if !strings.Contains(out.String(), "cycles:") {
+		t.Fatalf("summary missing from output:\n%s", out.String())
+	}
+}
+
+// TestRunFlushesObsOnError: a failure after the registry is attached
+// (here: an invalid tile-worker count rejected by config validation)
+// used to os.Exit past the flush, losing the -metrics-out/-trace-out
+// files entirely. The error must surface AND the files must exist.
+func TestRunFlushesObsOnError(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	err := run([]string{
+		"-benchmark", "hcr", "-frame-div", "100",
+		"-tile-workers", "-1",
+		"-metrics-out", metrics, "-trace-out", trace,
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("invalid -tile-workers accepted")
+	}
+	if !strings.Contains(err.Error(), "TileWorkers") {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+	mustValidJSON(t, metrics)
+	mustValidJSON(t, trace)
+}
+
+// TestRunCleansUpFailedObsWrite: when the obs flush itself cannot
+// complete (unwritable destination), the run must fail and leave no
+// partial or temporary files behind.
+func TestRunCleansUpFailedObsWrite(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "no-such-subdir", "metrics.json")
+	err := run([]string{
+		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:1",
+		"-metrics-out", metrics,
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("unwritable -metrics-out accepted")
+	}
+	entries, rdErr := os.ReadDir(dir)
+	if rdErr != nil {
+		t.Fatal(rdErr)
+	}
+	for _, e := range entries {
+		t.Fatalf("leftover file after failed flush: %s", e.Name())
 	}
 }

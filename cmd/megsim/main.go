@@ -10,12 +10,14 @@
 //	megsim -benchmark bbr1
 //	megsim -trace bbr1.trace -validate
 //	megsim -benchmark jjo -threshold 0.95 -seed 7
+//	megsim -benchmark hcr -tile-workers 4
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,23 +27,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "megsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a single error return so every exit
+// path is uniform (and testable) instead of scattering os.Exit calls.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("megsim", flag.ContinueOnError)
 	var (
-		tracePath = flag.String("trace", "", "trace file produced by tracegen")
-		benchmark = flag.String("benchmark", "", "generate this benchmark instead of loading a trace")
-		frameDiv  = flag.Int("frame-div", 1, "frame divisor when generating")
-		threshold = flag.Float64("threshold", 0.85, "BIC spread threshold T")
-		seed      = flag.Uint64("seed", 1, "k-means initialization seed")
-		validate  = flag.Bool("validate", false, "also run the full simulation and report relative errors")
-		tbdr      = flag.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
-		jsonOut   = flag.Bool("json", false, "print machine-readable JSON instead of text")
-		saveSel   = flag.String("save-selection", "", "write the frame selection as JSON to this file")
+		tracePath   = fs.String("trace", "", "trace file produced by tracegen")
+		benchmark   = fs.String("benchmark", "", "generate this benchmark instead of loading a trace")
+		frameDiv    = fs.Int("frame-div", 1, "frame divisor when generating")
+		threshold   = fs.Float64("threshold", 0.85, "BIC spread threshold T")
+		seed        = fs.Uint64("seed", 1, "k-means initialization seed")
+		validate    = fs.Bool("validate", false, "also run the full simulation and report relative errors")
+		tbdr        = fs.Bool("tbdr", false, "simulate a TBDR GPU (hidden surface removal)")
+		tileWorkers = fs.Int("tile-workers", 0, "tile-parallel raster workers per frame (0 = serial raster stage)")
+		jsonOut     = fs.Bool("json", false, "print machine-readable JSON instead of text")
+		saveSel     = fs.String("save-selection", "", "write the frame selection as JSON to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tr, err := loadTrace(*tracePath, *benchmark, *frameDiv)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "megsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := megsim.DefaultConfig()
@@ -49,55 +63,53 @@ func main() {
 	cfg.Seed = *seed
 	gpu := megsim.DefaultGPUConfig()
 	gpu.DeferredShading = *tbdr
+	gpu.TileWorkers = *tileWorkers
 
 	start := time.Now()
 	run, err := megsim.Sample(tr, cfg, gpu)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "megsim:", err)
-		os.Exit(1)
+		return err
 	}
 	sampledTime := time.Since(start)
 
 	if *saveSel != "" {
 		if err := writeSelection(*saveSel, tr.Name, run); err != nil {
-			fmt.Fprintln(os.Stderr, "megsim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *jsonOut {
-		printJSON(tr, run, sampledTime)
-		return
+		return printJSON(stdout, tr, run, sampledTime)
 	}
 
-	fmt.Printf("workload:        %s (%d frames)\n", tr.Name, tr.NumFrames())
-	fmt.Printf("clusters:        %d (explored k=1..%d)\n", run.Selection.Clusters.K, len(run.Selection.BICScores))
-	fmt.Printf("representatives: %v\n", run.Representatives())
-	fmt.Printf("reduction:       %.0fx fewer frames\n", run.ReductionFactor())
-	fmt.Printf("sampled run:     %v total\n", sampledTime.Round(time.Millisecond))
-	fmt.Println()
-	fmt.Printf("estimated cycles:      %d\n", run.Estimate.Cycles)
-	fmt.Printf("estimated dram:        %d\n", run.Estimate.DRAM.Accesses)
-	fmt.Printf("estimated l2:          %d\n", run.Estimate.L2.Accesses)
-	fmt.Printf("estimated tile cache:  %d\n", run.Estimate.TileCache.Accesses)
+	fmt.Fprintf(stdout, "workload:        %s (%d frames)\n", tr.Name, tr.NumFrames())
+	fmt.Fprintf(stdout, "clusters:        %d (explored k=1..%d)\n", run.Selection.Clusters.K, len(run.Selection.BICScores))
+	fmt.Fprintf(stdout, "representatives: %v\n", run.Representatives())
+	fmt.Fprintf(stdout, "reduction:       %.0fx fewer frames\n", run.ReductionFactor())
+	fmt.Fprintf(stdout, "sampled run:     %v total\n", sampledTime.Round(time.Millisecond))
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "estimated cycles:      %d\n", run.Estimate.Cycles)
+	fmt.Fprintf(stdout, "estimated dram:        %d\n", run.Estimate.DRAM.Accesses)
+	fmt.Fprintf(stdout, "estimated l2:          %d\n", run.Estimate.L2.Accesses)
+	fmt.Fprintf(stdout, "estimated tile cache:  %d\n", run.Estimate.TileCache.Accesses)
 
 	if *validate {
-		fmt.Println()
-		fmt.Println("validating against full simulation...")
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "validating against full simulation...")
 		start = time.Now()
 		full, err := megsim.SimulateFull(tr, gpu)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "megsim:", err)
-			os.Exit(1)
+			return err
 		}
 		fullTime := time.Since(start)
 		actual := megsim.SumStats(full)
 		acc := megsim.CompareAccuracy(&run.Estimate, &actual)
-		fmt.Printf("full simulation:  %v (%.0fx slower than the sampled run)\n",
+		fmt.Fprintf(stdout, "full simulation:  %v (%.0fx slower than the sampled run)\n",
 			fullTime.Round(time.Millisecond), float64(fullTime)/float64(sampledTime))
 		for _, m := range core.Metrics() {
-			fmt.Printf("relative error %-22s %.2f%%\n", m.String()+":", acc.Percent(m))
+			fmt.Fprintf(stdout, "relative error %-22s %.2f%%\n", m.String()+":", acc.Percent(m))
 		}
 	}
+	return nil
 }
 
 func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
@@ -116,7 +128,7 @@ func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
 }
 
 // printJSON emits a machine-readable run summary.
-func printJSON(tr *megsim.Trace, run *megsim.Run, sampled time.Duration) {
+func printJSON(w io.Writer, tr *megsim.Trace, run *megsim.Run, sampled time.Duration) error {
 	out := struct {
 		Workload        string  `json:"workload"`
 		Frames          int     `json:"frames"`
@@ -140,12 +152,9 @@ func printJSON(tr *megsim.Trace, run *megsim.Run, sampled time.Duration) {
 		L2Accesses:      run.Estimate.L2.Accesses,
 		TileAccesses:    run.Estimate.TileCache.Accesses,
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "megsim:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(out)
 }
 
 // writeSelection persists the selection so later runs (e.g. a design-

@@ -18,17 +18,34 @@ import (
 // and σ² the average variance of the Euclidean distance from each point
 // to its centroid, estimated as WCSS/(R−K).
 //
-// Higher is better. Clusterings with R == K (every point its own
-// cluster) or zero variance are degenerate; they get -Inf so the search
-// never selects them over meaningful fits.
+// Higher is better. Clusterings where every point sits in its own
+// cluster or with an undefined variance are degenerate; they get -Inf
+// so the search never selects them over meaningful fits. K counts only
+// non-empty clusters: an empty cluster (possible on duplicate-heavy
+// data even after the Lloyd reseed repair) carries no fitted
+// parameters, so it must neither inflate the penalty term nor push the
+// variance denominator R-K to zero. That keeps the score defined for
+// singleton-cluster results such as K = R with one empty cluster.
 func BIC(data [][]float64, res Result) float64 {
 	r := float64(len(data))
 	if len(data) == 0 || res.K <= 0 {
 		return math.Inf(-1)
 	}
+	// Effective cluster count: only clusters that captured points.
+	kEff := 0
+	for _, rn := range res.Sizes {
+		if rn > 0 {
+			kEff++
+		}
+	}
+	if kEff == 0 {
+		// No Sizes recorded (hand-built Result): fall back to the
+		// declared K so a well-formed clustering still scores.
+		kEff = res.K
+	}
 	m := float64(len(data[0]))
-	k := float64(res.K)
-	if len(data) <= res.K {
+	k := float64(kEff)
+	if len(data) <= kEff || math.IsNaN(res.WCSS) {
 		return math.Inf(-1)
 	}
 	sigma2 := res.WCSS / (r - k)

@@ -92,18 +92,43 @@ func KMeansSeeded(data [][]float64, k int, rng *stats.RNG, maxIter int, seeds []
 		// Update step: per-chunk partial sums merged in chunk order, so
 		// the result is bit-identical regardless of parallelism.
 		next := sumByCluster(data, assign, k, d)
+		// taken marks points already consumed as reseeds this iteration:
+		// when several clusters empty out at once, each must get a
+		// DISTINCT farthest point — handing them all the same one (the
+		// scan result never changes within the iteration) creates
+		// duplicate centroids that keep a cluster empty forever.
+		var taken map[int]bool
 		for c := range next {
 			if sizes[c] == 0 {
-				// Empty cluster: reseed on the point farthest from its
-				// centroid, the standard Lloyd repair.
-				far, farD := 0, -1.0
+				// Empty cluster: reseed on the farthest unclaimed point
+				// from its current centroid, the standard Lloyd repair.
+				far, farD := -1, -1.0
 				for i, x := range data {
+					if taken[i] {
+						continue
+					}
 					if dist := linalg.SquaredDistance(x, centroids[assign[i]]); dist > farD {
 						far, farD = i, dist
 					}
 				}
+				if far < 0 {
+					// More empty clusters than points (mass-duplicate
+					// data): no repair exists; keep the old centroid
+					// rather than fabricating one.
+					copy(next[c], centroids[c])
+					continue
+				}
+				if taken == nil {
+					taken = make(map[int]bool)
+				}
+				taken[far] = true
 				copy(next[c], data[far])
-				changed = true
+				// Only count the repair as progress when it actually
+				// moved the centroid; on degenerate data the same
+				// reseed would otherwise churn until maxIter.
+				if !equalVec(next[c], centroids[c]) {
+					changed = true
+				}
 				continue
 			}
 			inv := 1 / float64(sizes[c])
@@ -337,6 +362,20 @@ func extendPlusPlus(data [][]float64, centroids [][]float64, k int, rng *stats.R
 		}
 	}
 	return centroids
+}
+
+// equalVec reports exact element-wise equality; used by the
+// empty-cluster repair to detect a reseed that made no progress.
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func clone(x []float64) []float64 {

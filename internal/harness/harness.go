@@ -30,6 +30,13 @@ type Options struct {
 	// Workers bounds the goroutines used for the parallel ground-truth
 	// pass (0 = GOMAXPROCS). Affects wall clock only, never results.
 	Workers int
+	// TileWorkers enables the tile-parallel raster stage inside each
+	// simulated frame (0 = the serial warm-cache raster stage). It
+	// composes with Workers — frames fan out across Workers, tiles
+	// within each frame across TileWorkers — and never affects results:
+	// every TileWorkers >= 1 setting is byte-identical. Ignored when the
+	// caller already set GPU.TileWorkers explicitly.
+	TileWorkers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// Obs, when non-nil and enabled, receives metrics and timeline
@@ -40,8 +47,12 @@ type Options struct {
 	Obs *obs.Registry
 }
 
-// wireObs propagates opts.Obs into the phase configurations.
+// wireObs propagates opts.Obs and opts.TileWorkers into the phase
+// configurations.
 func (o *Options) wireObs() {
+	if o.TileWorkers > 0 && o.GPU.TileWorkers == 0 {
+		o.GPU.TileWorkers = o.TileWorkers
+	}
 	if !o.Obs.Enabled() {
 		return
 	}

@@ -72,6 +72,26 @@ func TestSampledOnlyMatchesFullStudyEstimate(t *testing.T) {
 	}
 }
 
+func TestTileWorkersOptionDoesNotAffectResults(t *testing.T) {
+	// Options.TileWorkers must thread into the GPU config, and any
+	// worker count >= 1 must produce identical estimates.
+	one := TestOptions()
+	one.TileWorkers = 1
+	four := TestOptions()
+	four.TileWorkers = 4
+	a, err := RunSampledOnly(workload.Profiles["hcr"], one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSampledOnly(workload.Profiles["hcr"], four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatalf("estimate depends on tile-worker count:\n1: %+v\n4: %+v", a.Estimate, b.Estimate)
+	}
+}
+
 func TestStudyCachesResults(t *testing.T) {
 	s := testStudy(t)
 	a, err := s.Result("hcr")
@@ -325,7 +345,7 @@ func TestPresetTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.NumRows() != 4 { // lowend, mali450, highend, tbdr
+	if tbl.NumRows() != 5 { // lowend, mali450, highend, tbdr, tiled
 		t.Fatalf("rows = %d", tbl.NumRows())
 	}
 }

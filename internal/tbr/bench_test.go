@@ -1,6 +1,7 @@
 package tbr_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/obs"
@@ -27,6 +28,43 @@ func BenchmarkSimulateFrameObs(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := tbr.DefaultConfig()
 			cfg.Obs = mode.reg
+			sim, err := tbr.New(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.SimulateFrame(frame)
+			}
+		})
+	}
+}
+
+// BenchmarkTileParallelRaster demonstrates the tile-parallel raster
+// stage on the large (highend) preset with a raster-heavy frame:
+// "serial" is the legacy warm-cache model (TileWorkers = 0), the
+// tile-workers=N entries run the sharded model. The acceptance bar is
+// >= 1.5x speedup of tile-workers=4 over tile-workers=1 (every
+// TileWorkers >= 1 setting computes byte-identical results, so the
+// ratio is pure wall-clock). On a single-CPU host the multi-worker
+// entries collapse to tile-workers=1 time: the per-tile work is
+// lock-free and evenly claimable, so scaling is bounded only by
+// GOMAXPROCS.
+func BenchmarkTileParallelRaster(b *testing.B) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 1024, Height: 512, FrameDivisor: 8, DetailDivisor: 1})
+	frame := tr.NumFrames() / 2
+	for _, tw := range []int{0, 1, 2, 4} {
+		name := fmt.Sprintf("tile-workers=%d", tw)
+		if tw == 0 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg, err := tbr.Preset("highend")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.TileWorkers = tw
 			sim, err := tbr.New(cfg, tr)
 			if err != nil {
 				b.Fatal(err)

@@ -9,7 +9,10 @@
 // replacement.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Level is any component that can serve memory requests: a cache or the
 // DRAM at the bottom of the hierarchy.
@@ -78,6 +81,12 @@ type cacheLine struct {
 	// lastUse implements true LRU via a monotonically increasing
 	// access stamp.
 	lastUse uint64
+	// epoch tags the invalidation generation the line was installed in;
+	// a line is live only when its epoch matches the cache's. Bumping
+	// the cache epoch invalidates every line in O(1) — the operation
+	// ColdStart performs once per isolated unit of work (frame or
+	// tile), where a full array wipe would dominate the simulation.
+	epoch uint64
 }
 
 // Cache is a set-associative, write-back, write-allocate cache.
@@ -89,6 +98,13 @@ type Cache struct {
 	lineShift uint
 	next      Level
 	stamp     uint64
+	epoch     uint64
+	// dirtyRefs records lines that became dirty since the last
+	// flush/writeback as packed set*ways+way indices, so Flush and
+	// WritebackAll visit only candidate lines instead of scanning the
+	// whole array. Entries may be stale (line since evicted or from an
+	// old epoch) or duplicated; consumers re-check the dirty flag.
+	dirtyRefs []int32
 	Stats     CacheStats
 }
 
@@ -132,24 +148,38 @@ func (c *Cache) Name() string { return c.cfg.Name }
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
+// noteDirty records a line as a flush/writeback candidate.
+func (c *Cache) noteDirty(setIdx uint64, way int) {
+	c.dirtyRefs = append(c.dirtyRefs, int32(int(setIdx)*c.cfg.Ways+way))
+}
+
+// sortedDirtyRefs returns the recorded dirty candidates in ascending
+// (set, way) order — the order the old full-array scan visited lines
+// in, which downstream timing (DRAM row-buffer state) depends on.
+func (c *Cache) sortedDirtyRefs() []int32 {
+	slices.Sort(c.dirtyRefs)
+	return c.dirtyRefs
+}
+
 // Flush invalidates every line, writing back dirty ones (counted in
 // Stats.Writebacks and forwarded to the next level at time `now`).
 // It returns the completion time of the last writeback.
 func (c *Cache) Flush(now uint64) uint64 {
 	done := now
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			ln := &c.sets[si][wi]
-			if ln.valid && ln.dirty {
-				c.Stats.Writebacks++
-				addr := (ln.tag*(c.setMask+1) + uint64(si)) << c.lineShift
-				if d := c.next.Access(now, addr, true); d > done {
-					done = d
-				}
+	for _, ref := range c.sortedDirtyRefs() {
+		si := uint64(int(ref) / c.cfg.Ways)
+		ln := &c.sets[si][int(ref)%c.cfg.Ways]
+		if ln.valid && ln.epoch == c.epoch && ln.dirty {
+			c.Stats.Writebacks++
+			addr := (ln.tag*(c.setMask+1) + si) << c.lineShift
+			if d := c.next.Access(now, addr, true); d > done {
+				done = d
 			}
-			*ln = cacheLine{}
+			ln.dirty = false // skip duplicate refs to the same line
 		}
 	}
+	c.dirtyRefs = c.dirtyRefs[:0]
+	c.epoch++
 	return done
 }
 
@@ -158,19 +188,19 @@ func (c *Cache) Flush(now uint64) uint64 {
 // behaviour when caches stay warm across frames.
 func (c *Cache) WritebackAll(now uint64) uint64 {
 	done := now
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			ln := &c.sets[si][wi]
-			if ln.valid && ln.dirty {
-				c.Stats.Writebacks++
-				addr := (ln.tag*(c.setMask+1) + uint64(si)) << c.lineShift
-				if d := c.next.Access(now, addr, true); d > done {
-					done = d
-				}
-				ln.dirty = false
+	for _, ref := range c.sortedDirtyRefs() {
+		si := uint64(int(ref) / c.cfg.Ways)
+		ln := &c.sets[si][int(ref)%c.cfg.Ways]
+		if ln.valid && ln.epoch == c.epoch && ln.dirty {
+			c.Stats.Writebacks++
+			addr := (ln.tag*(c.setMask+1) + si) << c.lineShift
+			if d := c.next.Access(now, addr, true); d > done {
+				done = d
 			}
+			ln.dirty = false
 		}
 	}
+	c.dirtyRefs = c.dirtyRefs[:0]
 	return done
 }
 
@@ -178,17 +208,25 @@ func (c *Cache) WritebackAll(now uint64) uint64 {
 // the statistics. Used at frame boundaries when simulating frames as
 // independent units.
 func (c *Cache) Reset() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			c.sets[si][wi] = cacheLine{}
-		}
-	}
+	c.epoch++
+	c.dirtyRefs = c.dirtyRefs[:0]
 	c.Stats = CacheStats{}
 	c.stamp = 0
 }
 
 // ResetStats zeroes counters but keeps cache contents.
 func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// ColdStart invalidates every line without writebacks and rewinds the
+// LRU clock while keeping the cumulative statistics — the state of a
+// cache at the start of an isolated unit of work (a frame simulated in
+// isolation, or one tile of the sharded raster stage). O(1): the epoch
+// bump invalidates lazily.
+func (c *Cache) ColdStart() {
+	c.epoch++
+	c.dirtyRefs = c.dirtyRefs[:0]
+	c.stamp = 0
+}
 
 // Access implements Level.
 func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
@@ -202,11 +240,12 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 	// Hit path.
 	for wi := range set {
 		ln := &set[wi]
-		if ln.valid && ln.tag == tag {
+		if ln.valid && ln.epoch == c.epoch && ln.tag == tag {
 			c.Stats.Hits++
 			ln.lastUse = c.stamp
-			if write {
+			if write && !ln.dirty {
 				ln.dirty = true
+				c.noteDirty(setIdx, wi)
 			}
 			return now + c.cfg.Latency
 		}
@@ -216,7 +255,7 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 	c.Stats.Misses++
 	victim := 0
 	for wi := range set {
-		if !set[wi].valid {
+		if !set[wi].valid || set[wi].epoch != c.epoch {
 			victim = wi
 			break
 		}
@@ -226,7 +265,7 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 	}
 	ln := &set[victim]
 	fillStart := now + c.cfg.Latency
-	if ln.valid && ln.dirty {
+	if ln.valid && ln.epoch == c.epoch && ln.dirty {
 		// Write back the victim. The writeback proceeds in the
 		// background; it occupies the next level but does not delay
 		// the demand fill beyond the level's own queuing.
@@ -235,7 +274,10 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 		c.next.Access(now, victimAddr, true)
 	}
 	done := c.next.Access(fillStart, addr, false)
-	*ln = cacheLine{tag: tag, valid: true, dirty: write, lastUse: c.stamp}
+	*ln = cacheLine{tag: tag, valid: true, dirty: write, lastUse: c.stamp, epoch: c.epoch}
+	if write {
+		c.noteDirty(setIdx, victim)
+	}
 	return done
 }
 

@@ -1,0 +1,145 @@
+package mem
+
+import "fmt"
+
+// ShardConfig sizes one shard of the raster-stage memory hierarchy: the
+// slice of the memory system a tile-parallel worker owns privately. A
+// shard replicates the raster-side levels (tile cache, texture caches,
+// L2) over a private DRAM model; the vertex cache belongs to the
+// geometry pass and is not sharded.
+type ShardConfig struct {
+	TileCache        CacheConfig
+	TextureCache     CacheConfig
+	NumTextureCaches int
+	L2               CacheConfig
+	DRAM             DRAMConfig
+}
+
+// Validate reports configuration errors.
+func (c ShardConfig) Validate() error {
+	if c.NumTextureCaches <= 0 {
+		return fmt.Errorf("mem: shard needs at least one texture cache")
+	}
+	for _, cc := range []CacheConfig{c.TileCache, c.TextureCache, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardStats aggregates one shard's counters (the texture caches are
+// summed). Fields add across shards, so the per-shard accumulators of a
+// tile-parallel run merge into frame totals by plain summation — an
+// order-independent operation over uint64, which is what makes the
+// merged statistics identical for every worker count.
+type ShardStats struct {
+	TileCache    CacheStats
+	TextureCache CacheStats
+	L2           CacheStats
+	DRAM         DRAMStats
+}
+
+// Add accumulates o into s.
+func (s *ShardStats) Add(o ShardStats) {
+	addCacheStats(&s.TileCache, o.TileCache)
+	addCacheStats(&s.TextureCache, o.TextureCache)
+	addCacheStats(&s.L2, o.L2)
+	s.DRAM.Accesses += o.DRAM.Accesses
+	s.DRAM.Reads += o.DRAM.Reads
+	s.DRAM.Writes += o.DRAM.Writes
+	s.DRAM.RowHits += o.DRAM.RowHits
+	s.DRAM.RowMisses += o.DRAM.RowMisses
+	s.DRAM.BusyCycles += o.DRAM.BusyCycles
+}
+
+func addCacheStats(dst *CacheStats, src CacheStats) {
+	dst.Accesses += src.Accesses
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Writebacks += src.Writebacks
+}
+
+// Shard is a private view of the raster-stage memory hierarchy for one
+// tile-parallel worker: tile cache and texture caches over an L2 over a
+// DRAM, all exclusively owned, so workers never contend and per-shard
+// statistics accumulate without atomics. Timing isolation is per unit
+// of work: ColdStart before each tile makes the shard's behaviour a
+// pure function of that tile's access stream, independent of which
+// shard (and therefore which worker) processed it.
+type Shard struct {
+	DRAM          *DRAM
+	L2            *Cache
+	TileCache     *Cache
+	TextureCaches []*Cache
+}
+
+// NewShard builds a shard. It panics on an invalid configuration
+// (configurations are static in this codebase), mirroring NewCache.
+func NewShard(cfg ShardConfig) *Shard {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Shard{}
+	s.DRAM = NewDRAM(cfg.DRAM)
+	s.L2 = NewCache(cfg.L2, s.DRAM)
+	s.TileCache = NewCache(cfg.TileCache, s.L2)
+	for i := 0; i < cfg.NumTextureCaches; i++ {
+		tc := cfg.TextureCache
+		tc.Name = fmt.Sprintf("texture%d", i)
+		s.TextureCaches = append(s.TextureCaches, NewCache(tc, s.L2))
+	}
+	return s
+}
+
+// ColdStart drops all cached state without writebacks, closes DRAM rows
+// and rewinds every clock to zero while keeping cumulative statistics.
+// Called before each unit of work (tile) so the shard's behaviour does
+// not depend on what it processed before.
+func (s *Shard) ColdStart() {
+	s.TileCache.ColdStart()
+	for _, c := range s.TextureCaches {
+		c.ColdStart()
+	}
+	s.L2.ColdStart()
+	s.DRAM.ResetTime()
+}
+
+// Flush drains the shard's dirty lines to DRAM at the end of a unit of
+// work: the first-level caches flush into L2, then L2 flushes the lot.
+// Returns the completion cycle of the last writeback.
+func (s *Shard) Flush(now uint64) uint64 {
+	done := s.TileCache.Flush(now)
+	for _, c := range s.TextureCaches {
+		if d := c.Flush(now); d > done {
+			done = d
+		}
+	}
+	if d := s.L2.Flush(done); d > done {
+		done = d
+	}
+	return done
+}
+
+// ResetStats zeroes every counter in the shard (state is untouched).
+func (s *Shard) ResetStats() {
+	s.TileCache.ResetStats()
+	for _, c := range s.TextureCaches {
+		c.ResetStats()
+	}
+	s.L2.ResetStats()
+	s.DRAM.ResetStats()
+}
+
+// Stats returns the shard's cumulative counters (texture caches summed).
+func (s *Shard) Stats() ShardStats {
+	st := ShardStats{
+		TileCache: s.TileCache.Stats,
+		L2:        s.L2.Stats,
+		DRAM:      s.DRAM.Stats,
+	}
+	for _, c := range s.TextureCaches {
+		addCacheStats(&st.TextureCache, c.Stats)
+	}
+	return st
+}

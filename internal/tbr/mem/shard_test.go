@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testShardConfig() ShardConfig {
+	return ShardConfig{
+		TileCache: CacheConfig{
+			Name: "tile", SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, Latency: 2, Banks: 1,
+		},
+		TextureCache: CacheConfig{
+			Name: "texture", SizeBytes: 8 << 10, LineBytes: 64, Ways: 2, Latency: 2, Banks: 1,
+		},
+		NumTextureCaches: 4,
+		L2: CacheConfig{
+			Name: "l2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 2, Latency: 18, Banks: 8,
+		},
+		DRAM: DefaultDRAMConfig(),
+	}
+}
+
+// shardAccess is one request of a synthetic access stream, addressed at
+// one of the shard's entry points.
+type shardAccess struct {
+	unit  int // 0 = tile cache, 1..NumTextureCaches = texture cache, last = L2 direct
+	addr  uint64
+	write bool
+}
+
+// replayGroup runs one unit of work (a tile's worth of accesses) on a
+// cold shard: ColdStart, replay, Flush — exactly the per-tile sequence
+// of the tile-parallel raster stage.
+func replayGroup(s *Shard, group []shardAccess) {
+	s.ColdStart()
+	clock := uint64(0)
+	for _, a := range group {
+		clock++
+		switch {
+		case a.unit == 0:
+			clock = s.TileCache.Access(clock, a.addr, a.write)
+		case a.unit <= len(s.TextureCaches):
+			clock = s.TextureCaches[a.unit-1].Access(clock, a.addr, a.write)
+		default:
+			clock = s.L2.Access(clock, a.addr, a.write)
+		}
+	}
+	s.Flush(clock)
+}
+
+// TestShardMergeMatchesSerial is the shard-merge property test: on
+// identical access streams, the per-shard hit/miss/writeback and DRAM
+// counters of any shard count, summed, must equal the counters of a
+// single serial shard processing every group. This is the invariant the
+// tile-parallel raster stage relies on for worker-count-independent
+// statistics: each unit of work starts cold, so its counters are a pure
+// function of its own stream, and uint64 sums are order-independent.
+func TestShardMergeMatchesSerial(t *testing.T) {
+	cfg := testShardConfig()
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			numGroups := 4 + rng.Intn(12)
+			groups := make([][]shardAccess, numGroups)
+			for g := range groups {
+				n := 50 + rng.Intn(400)
+				groups[g] = make([]shardAccess, n)
+				for i := range groups[g] {
+					groups[g][i] = shardAccess{
+						unit: rng.Intn(cfg.NumTextureCaches + 2),
+						// A handful of 2 KiB regions so streams mix hits,
+						// misses, evictions and row-buffer locality.
+						addr:  uint64(rng.Intn(8))<<20 | uint64(rng.Intn(1<<11)),
+						write: rng.Intn(3) == 0,
+					}
+				}
+			}
+
+			serial := NewShard(cfg)
+			for _, g := range groups {
+				replayGroup(serial, g)
+			}
+			want := serial.Stats()
+
+			for _, numShards := range []int{1, 2, 3, 5} {
+				shards := make([]*Shard, numShards)
+				for i := range shards {
+					shards[i] = NewShard(cfg)
+				}
+				// Round-robin assignment stands in for any deterministic
+				// or scheduler-driven distribution: the property holds
+				// for every partition of the groups.
+				for gi, g := range groups {
+					replayGroup(shards[gi%numShards], g)
+				}
+				var got ShardStats
+				for _, s := range shards {
+					got.Add(s.Stats())
+				}
+				if got != want {
+					t.Fatalf("shards=%d: summed stats diverge from serial:\n%+v\nvs\n%+v",
+						numShards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardColdStartIsolation: after ColdStart, a shard's behaviour on
+// a stream must not depend on earlier work — the per-tile isolation
+// property stated on ColdStart.
+func TestShardColdStartIsolation(t *testing.T) {
+	cfg := testShardConfig()
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]shardAccess, 500)
+	for i := range stream {
+		stream[i] = shardAccess{
+			unit:  rng.Intn(cfg.NumTextureCaches + 2),
+			addr:  uint64(rng.Intn(1 << 16)),
+			write: rng.Intn(4) == 0,
+		}
+	}
+
+	fresh := NewShard(cfg)
+	replayGroup(fresh, stream)
+	want := fresh.Stats()
+
+	warmed := NewShard(cfg)
+	// Unrelated prior work, then the same stream.
+	prior := make([]shardAccess, 300)
+	for i := range prior {
+		prior[i] = shardAccess{unit: rng.Intn(cfg.NumTextureCaches + 2), addr: uint64(rng.Intn(1 << 18)), write: true}
+	}
+	replayGroup(warmed, prior)
+	before := warmed.Stats()
+	replayGroup(warmed, stream)
+	got := warmed.Stats()
+	// Subtract the prior work's counters to get the stream's delta.
+	delta := ShardStats{}
+	delta.Add(got)
+	sub := func(d, b *CacheStats) {
+		d.Accesses -= b.Accesses
+		d.Hits -= b.Hits
+		d.Misses -= b.Misses
+		d.Writebacks -= b.Writebacks
+	}
+	sub(&delta.TileCache, &before.TileCache)
+	sub(&delta.TextureCache, &before.TextureCache)
+	sub(&delta.L2, &before.L2)
+	delta.DRAM.Accesses -= before.DRAM.Accesses
+	delta.DRAM.Reads -= before.DRAM.Reads
+	delta.DRAM.Writes -= before.DRAM.Writes
+	delta.DRAM.RowHits -= before.DRAM.RowHits
+	delta.DRAM.RowMisses -= before.DRAM.RowMisses
+	delta.DRAM.BusyCycles -= before.DRAM.BusyCycles
+	if delta != want {
+		t.Fatalf("ColdStart did not isolate the stream from prior work:\n%+v\nvs\n%+v", delta, want)
+	}
+}

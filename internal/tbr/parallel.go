@@ -15,46 +15,38 @@ import (
 // exercise the abort path.
 var testWorkerHook func(item int)
 
-// runPool runs fn(sim, i) for every i in [0, n) across `workers`
-// goroutines, each with its own Simulator. A failed worker (New error
-// or a panic out of fn, converted to an error) raises an abort flag
-// that every worker checks in its claim loop, so the pool stops
-// promptly instead of draining the remaining items.
-//
-// When cfg.Obs is enabled each worker records into a local registry;
-// the locals are merged into cfg.Obs in worker order after the join, so
-// instrumentation is race-free by construction and — because counters
-// and histograms are additive and snapshot events sort canonically —
-// deterministic regardless of how items were distributed.
-func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simulator, i int)) error {
-	parent := cfg.Obs
-	locals := make([]*obs.Registry, workers)
+// claimPool is the work-distribution core shared by the frame-parallel
+// driver and the tile-parallel raster stage: `workers` goroutines claim
+// items from [0, n) off an atomic counter and run the per-worker fn
+// built by setup(w). A failed worker (setup error, or a panic out of fn
+// converted to an error) raises an abort flag every worker checks in
+// its claim loop, so the pool stops promptly instead of draining the
+// remaining items. The returned failed slice marks which workers did
+// not finish cleanly — their side effects (e.g. a local obs registry)
+// may be torn mid-item and must not be merged.
+func claimPool(workers, n int, setup func(w int) (fn func(i int), err error)) (failed []bool, firstErr error) {
+	failed = make([]bool, workers)
 	var (
-		next     atomic.Int64
-		abort    atomic.Bool
-		firstErr error
-		errOnce  sync.Once
-		wg       sync.WaitGroup
+		next    atomic.Int64
+		abort   atomic.Bool
+		errOnce sync.Once
+		wg      sync.WaitGroup
 	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		abort.Store(true)
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			fail := func(err error) {
+				failed[w] = true
+				errOnce.Do(func() { firstErr = err })
+				abort.Store(true)
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					fail(fmt.Errorf("tbr: worker %d: %v", w, r))
 				}
 			}()
-			wcfg := cfg
-			if parent.Enabled() {
-				locals[w] = parent.NewLocal()
-				wcfg.Obs = locals[w]
-			}
-			sim, err := New(wcfg, trace)
+			fn, err := setup(w)
 			if err != nil {
 				fail(err)
 				return
@@ -67,12 +59,45 @@ func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simu
 				if h := testWorkerHook; h != nil {
 					h(i)
 				}
-				fn(sim, i)
+				fn(i)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, l := range locals {
+	return failed, firstErr
+}
+
+// runPool runs fn(sim, i) for every i in [0, n) across `workers`
+// goroutines, each with its own Simulator, via claimPool.
+//
+// When cfg.Obs is enabled each worker records into a local registry;
+// the locals of cleanly finished workers are merged into cfg.Obs in
+// worker order after the join, so instrumentation is race-free by
+// construction and — because counters and histograms are additive and
+// snapshot events sort canonically — deterministic regardless of how
+// items were distributed. A worker that failed mid-item leaves its
+// local registry partially populated (e.g. a frame's counters without
+// its spans); merging it would let an aborted run report torn numbers,
+// so failed workers' registries are dropped.
+func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simulator, i int)) error {
+	parent := cfg.Obs
+	locals := make([]*obs.Registry, workers)
+	failed, firstErr := claimPool(workers, n, func(w int) (func(i int), error) {
+		wcfg := cfg
+		if parent.Enabled() {
+			locals[w] = parent.NewLocal()
+			wcfg.Obs = locals[w]
+		}
+		sim, err := New(wcfg, trace)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) { fn(sim, i) }, nil
+	})
+	for w, l := range locals {
+		if failed[w] {
+			continue
+		}
 		parent.Merge(l)
 	}
 	return firstErr

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -36,6 +37,56 @@ func TestParallelAbortsPromptlyOnWorkerFailure(t *testing.T) {
 	}
 	if got := claimed.Load(); got >= n {
 		t.Fatalf("pool drained all %d items (%d claims) despite the failure", n, got)
+	}
+}
+
+// TestRunPoolSkipsFailedWorkerRegistries: a worker that panics after
+// claiming an item leaves its local obs registry partially populated
+// (whatever it recorded before dying, without the rest of the item's
+// data). The post-join merge must drop such registries so an aborted
+// run cannot report torn counters — only cleanly finished workers
+// contribute.
+func TestRunPoolSkipsFailedWorkerRegistries(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+
+	parent := obs.New()
+	cfg := DefaultConfig()
+	cfg.Obs = parent
+
+	err := runPool(cfg, tr, 4, 64, func(sim *Simulator, i int) {
+		if i == 5 {
+			// Simulate a worker dying mid-item: partial data has
+			// already landed in its worker-local registry (sim.obs is
+			// the local the pool created for this worker) when the
+			// panic unwinds.
+			sim.obs.Counter("test.torn").Inc()
+			panic("die mid-item")
+		}
+		sim.SimulateFrame(0)
+	})
+	if err == nil {
+		t.Fatal("pool swallowed the worker failure")
+	}
+	if !strings.Contains(err.Error(), "die mid-item") {
+		t.Fatalf("error lost the failure cause: %v", err)
+	}
+	snap := parent.Snapshot()
+	if _, ok := snap.Counters["test.torn"]; ok {
+		t.Fatal("merge included the failed worker's torn registry")
+	}
+	// The surviving workers' registries still merge: every frame
+	// counted in the parent must carry its full span set.
+	if frames := snap.Counters["tbr.frames"]; frames > 0 {
+		var frameSpans uint64
+		for _, e := range snap.Events {
+			if e.Name == "frame" {
+				frameSpans++
+			}
+		}
+		if frameSpans != frames {
+			t.Fatalf("parent registry torn after merge: %d frames vs %d frame spans", frames, frameSpans)
+		}
 	}
 }
 

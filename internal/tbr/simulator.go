@@ -61,13 +61,19 @@ type Simulator struct {
 	bins   [][]int32 // per tile: indices into tris
 	binRec [][]uint64
 	vpFree []uint64
-	fpFree []uint64
 	triBuf []raster.ScreenTriangle
 
-	// Deferred-shading (TBDR) buffers, reused per tile.
-	deferred    []deferredQuad
-	transparent []deferredQuad
-	shadedPix   []bool
+	// serial is the raster execution context of the classic
+	// one-tile-at-a-time mode (TileWorkers == 0), wired to the
+	// simulator's own caches and queues.
+	serial rasterCtx
+
+	// Tile-parallel raster stage (TileWorkers >= 1): per-worker shard
+	// contexts plus the per-tile result slices the deterministic
+	// frame-end fold consumes (see tiled.go).
+	tileWorkers []*tileWorker
+	tileDurs    []uint64
+	tileFPEnds  []uint64
 
 	// Observability (package obs). The registry and counter handles are
 	// nil when disabled. The simulation hot paths stay uninstrumented:
@@ -146,6 +152,35 @@ type deferredQuad struct {
 	tri int32
 }
 
+// rasterCtx is the execution context of the Raster Pipeline: the units
+// and buffers one raster-stage executor owns exclusively. The serial
+// mode builds a single context over the simulator's own caches and
+// queues; the tile-parallel mode builds one per worker over a private
+// mem.Shard, so concurrent tiles never share mutable timing state. The
+// frame state read through sim (bins, tris, shader costs, trace) is
+// written only by the geometry pass, which completes before any tile
+// runs; the depth buffer is shared but tiles write disjoint pixels
+// (quads are 2x2-aligned, TileSize is validated even, and samples are
+// clipped to the tile AABB).
+type rasterCtx struct {
+	sim       *Simulator
+	tilecache *mem.Cache
+	tcaches   []*mem.Cache
+	fbmem     *mem.Cache // level the framebuffer writeback streams through (an L2)
+	fragmentQ *queue.Queue
+	colorQ    *queue.Queue
+	fpFree    []uint64
+
+	// Deferred-shading (TBDR) buffers, reused per tile.
+	deferred    []deferredQuad
+	transparent []deferredQuad
+	shadedPix   []bool
+
+	// fpEnd is the completion cycle of the latest shaded quad seen on
+	// this context since it was last rewound.
+	fpEnd uint64
+}
+
 // boundTri is a visible screen triangle with the state it was drawn
 // under.
 type boundTri struct {
@@ -217,7 +252,18 @@ func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
 	s.bins = make([][]int32, s.tilesX*s.tilesY)
 	s.binRec = make([][]uint64, s.tilesX*s.tilesY)
 	s.vpFree = make([]uint64, cfg.NumVertexProcessors)
-	s.fpFree = make([]uint64, cfg.NumFragmentProcessors)
+	s.serial = rasterCtx{
+		sim:       s,
+		tilecache: s.tilecache,
+		tcaches:   s.tcaches,
+		fbmem:     s.l2,
+		fragmentQ: s.fragmentQ,
+		colorQ:    s.colorQ,
+		fpFree:    make([]uint64, cfg.NumFragmentProcessors),
+	}
+	if cfg.TileWorkers > 0 {
+		s.initTileWorkers()
+	}
 
 	if cfg.Obs.Enabled() {
 		s.obs = cfg.Obs
@@ -422,16 +468,11 @@ func (s *Simulator) queueStallCycles() uint64 {
 // coldStart drops all cached state without writebacks (the previous
 // frame already flushed) and rewinds all unit clocks to zero.
 func (s *Simulator) coldStart() {
-	inv := func(c *mem.Cache) {
-		st := c.Stats
-		c.Reset()
-		c.Stats = st
-	}
-	inv(s.vcache)
-	inv(s.tilecache)
-	inv(s.l2)
+	s.vcache.ColdStart()
+	s.tilecache.ColdStart()
+	s.l2.ColdStart()
 	for _, c := range s.tcaches {
-		inv(c)
+		c.ColdStart()
 	}
 	dst := s.dram.Stats
 	s.dram.Reset()
@@ -582,58 +623,74 @@ func (s *Simulator) geometryPass(st *FrameStats) uint64 {
 	return maxU(end, lastDone)
 }
 
-// rasterPass simulates the Raster Pipeline: tiles are processed one at a
-// time; within a tile the rasterizer, Early-Z, the fragment processors
-// and the blender run as a pipeline. Returns the completion cycle.
+// rasterPass simulates the Raster Pipeline and returns the completion
+// cycle. With TileWorkers == 0 tiles are processed one at a time on the
+// simulator's own units; otherwise the sharded tile-parallel driver in
+// tiled.go takes over.
 func (s *Simulator) rasterPass(st *FrameStats, start uint64) uint64 {
-	vp := s.trace.Viewport
+	if s.cfg.TileWorkers > 0 {
+		return s.rasterPassTiled(st, start)
+	}
 	s.depth.Clear()
+	c := &s.serial
+	c.fpEnd = 0
 	clock := start
+	for ty := 0; ty < s.tilesY; ty++ {
+		for tx := 0; tx < s.tilesX; tx++ {
+			clock = c.runTile(st, ty*s.tilesX+tx, tx, ty, clock)
+		}
+	}
+	if c.fpEnd > s.frameFPEnd {
+		s.frameFPEnd = c.fpEnd
+	}
+	return clock
+}
+
+// runTile simulates one tile — rasterization, shading, blending and the
+// framebuffer writeback — starting at cycle clock, and returns its
+// completion cycle. Within the tile the rasterizer, Early-Z, the
+// fragment processors and the blender run as a pipeline.
+func (c *rasterCtx) runTile(st *FrameStats, bin, tx, ty int, clock uint64) uint64 {
+	s := c.sim
+	vp := s.trace.Viewport
+	clip := geom.AABB2{
+		Min: geom.Vec2{X: float64(tx * s.cfg.TileSize), Y: float64(ty * s.cfg.TileSize)},
+		Max: geom.Vec2{X: float64(min(tx*s.cfg.TileSize+s.cfg.TileSize, vp.Width)),
+			Y: float64(min(ty*s.cfg.TileSize+s.cfg.TileSize, vp.Height))},
+	}
+
+	var tileDone uint64
+	if s.cfg.DeferredShading {
+		tileDone = c.deferredTile(st, bin, clip, clock)
+	} else {
+		tileDone = c.immediateTile(st, bin, clip, clock)
+	}
+
+	// Tile writeback: the resolved tile colors stream to the
+	// framebuffer through L2 at one line per cycle.
 	tileLines := uint64(s.cfg.TileSize*s.cfg.TileSize*4) / uint64(s.cfg.L2.LineBytes)
 	if tileLines == 0 {
 		tileLines = 1
 	}
-
-	for ty := 0; ty < s.tilesY; ty++ {
-		for tx := 0; tx < s.tilesX; tx++ {
-			bin := ty*s.tilesX + tx
-			clip := geom.AABB2{
-				Min: geom.Vec2{X: float64(tx * s.cfg.TileSize), Y: float64(ty * s.cfg.TileSize)},
-				Max: geom.Vec2{X: float64(min(tx*s.cfg.TileSize+s.cfg.TileSize, vp.Width)),
-					Y: float64(min(ty*s.cfg.TileSize+s.cfg.TileSize, vp.Height))},
-			}
-
-			var tileDone uint64
-			if s.cfg.DeferredShading {
-				tileDone = s.deferredTile(st, bin, clip, clock)
-			} else {
-				tileDone = s.immediateTile(st, bin, clip, clock)
-			}
-
-			// Tile writeback: the resolved tile colors stream to the
-			// framebuffer through L2 at one line per cycle.
-			fbAddr := fbRegion + uint64(bin)*uint64(s.cfg.TileSize*s.cfg.TileSize*4)
-			wClock := tileDone
-			for l := uint64(0); l < tileLines; l++ {
-				wClock++
-				done := s.l2.Access(wClock, fbAddr+l*uint64(s.cfg.L2.LineBytes), true)
-				st.FramebufferLines++
-				if done > tileDone {
-					tileDone = done
-				}
-			}
-			tileDone = maxU(tileDone, wClock)
-			clock = tileDone
+	fbAddr := fbRegion + uint64(bin)*uint64(s.cfg.TileSize*s.cfg.TileSize*4)
+	wClock := tileDone
+	for l := uint64(0); l < tileLines; l++ {
+		wClock++
+		done := c.fbmem.Access(wClock, fbAddr+l*uint64(s.cfg.L2.LineBytes), true)
+		st.FramebufferLines++
+		if done > tileDone {
+			tileDone = done
 		}
 	}
-	return clock
+	return maxU(tileDone, wClock)
 }
 
 // immediateTile processes one tile in the classic TBR order: each
 // primitive's quads go through Early-Z and, when any sample survives,
 // straight to the fragment processors. Returns the tile completion
 // cycle.
-func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+func (c *rasterCtx) immediateTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+	s := c.sim
 	var (
 		listClock  = clock
 		rastClock  = clock
@@ -642,15 +699,15 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 		tileDone   = clock
 	)
 	shaded0 := st.FragmentsShaded
-	for i := range s.fpFree {
-		s.fpFree[i] = clock
+	for i := range c.fpFree {
+		c.fpFree[i] = clock
 	}
 
 	for bi, triIdx := range s.bins[bin] {
 		bt := &s.tris[triIdx]
 		// Read the primitive record through the tile cache.
 		listClock++
-		listDone := s.tilecache.Access(listClock, s.binRec[bin][bi], false)
+		listDone := c.tilecache.Access(listClock, s.binRec[bin][bi], false)
 
 		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
 			st.QuadsRasterized++
@@ -669,11 +726,11 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 			if alive == 0 {
 				return
 			}
-			fpDone := s.shadeQuad(st, bt, q, ezClock, alive)
+			fpDone := c.shadeQuad(st, bt, q, ezClock, alive)
 			// Blending into the on-chip color buffer.
-			cEnter := s.colorQ.Admit(fpDone)
+			cEnter := c.colorQ.Admit(fpDone)
 			blendClock = maxU(blendClock+1, cEnter)
-			s.colorQ.Commit(blendClock)
+			c.colorQ.Commit(blendClock)
 			st.BlendOps++
 			if blendClock > tileDone {
 				tileDone = blendClock
@@ -681,8 +738,8 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 		})
 	}
 
-	s.noteFPEnd(st.FragmentsShaded - shaded0)
-	for _, v := range s.fpFree {
+	c.noteFPEnd(st.FragmentsShaded - shaded0)
+	for _, v := range c.fpFree {
 		tileDone = maxU(tileDone, v)
 	}
 	return maxU(tileDone, maxU(rastClock, maxU(ezClock, blendClock)))
@@ -691,7 +748,8 @@ func (s *Simulator) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 // deferredTile processes one tile TBDR-style: a Hidden Surface Removal
 // pass depth-resolves every primitive first, then only the fragments
 // that ended up visible are shaded. Returns the tile completion cycle.
-func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock uint64) uint64 {
+	s := c.sim
 	var (
 		listClock  = clock
 		rastClock  = clock
@@ -700,11 +758,11 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 		tileDone   = clock
 	)
 	shaded0 := st.FragmentsShaded
-	for i := range s.fpFree {
-		s.fpFree[i] = clock
+	for i := range c.fpFree {
+		c.fpFree[i] = clock
 	}
-	s.deferred = s.deferred[:0]
-	s.transparent = s.transparent[:0]
+	c.deferred = c.deferred[:0]
+	c.transparent = c.transparent[:0]
 
 	// Pass 1: HSR — rasterize and depth-test all opaque geometry; no
 	// shading. Alpha-blended quads cannot participate in hidden-surface
@@ -714,30 +772,30 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	for bi, triIdx := range s.bins[bin] {
 		bt := &s.tris[triIdx]
 		listClock++
-		listDone := s.tilecache.Access(listClock, s.binRec[bin][bi], false)
+		listDone := c.tilecache.Access(listClock, s.binRec[bin][bi], false)
 		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
 			st.QuadsRasterized++
 			rastClock = maxU(rastClock+1, listDone)
 			ezClock = maxU(ezClock+1, rastClock)
 			covered += uint64(q.Coverage())
 			if bt.blend {
-				s.transparent = append(s.transparent, deferredQuad{q: *q, tri: triIdx})
+				c.transparent = append(c.transparent, deferredQuad{q: *q, tri: triIdx})
 				return
 			}
 			if s.depth.TestQuad(q) == 0 {
 				return // already behind a resolved surface
 			}
-			s.deferred = append(s.deferred, deferredQuad{q: *q, tri: triIdx})
+			c.deferred = append(c.deferred, deferredQuad{q: *q, tri: triIdx})
 		})
 	}
 	hsrDone := maxU(rastClock, ezClock)
 
 	// Pass 2: shade only quads whose samples own the final depth value.
 	// shadedPix guards against double-shading when two fragments tie.
-	if cap(s.shadedPix) < s.cfg.TileSize*s.cfg.TileSize {
-		s.shadedPix = make([]bool, s.cfg.TileSize*s.cfg.TileSize)
+	if cap(c.shadedPix) < s.cfg.TileSize*s.cfg.TileSize {
+		c.shadedPix = make([]bool, s.cfg.TileSize*s.cfg.TileSize)
 	}
-	shaded := s.shadedPix[:s.cfg.TileSize*s.cfg.TileSize]
+	shaded := c.shadedPix[:s.cfg.TileSize*s.cfg.TileSize]
 	for i := range shaded {
 		shaded[i] = false
 	}
@@ -746,8 +804,8 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 
 	issue := hsrDone
 	var shadedFrags uint64
-	for di := range s.deferred {
-		d := &s.deferred[di]
+	for di := range c.deferred {
+		d := &c.deferred[di]
 		bt := &s.tris[d.tri]
 		var visible uint8
 		for smp := 0; smp < 4; smp++ {
@@ -774,10 +832,10 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 		alive := d.q.Coverage()
 		shadedFrags += uint64(alive)
 		issue++
-		fpDone := s.shadeQuad(st, bt, &d.q, issue, alive)
-		cEnter := s.colorQ.Admit(fpDone)
+		fpDone := c.shadeQuad(st, bt, &d.q, issue, alive)
+		cEnter := c.colorQ.Admit(fpDone)
 		blendClock = maxU(blendClock+1, cEnter)
-		s.colorQ.Commit(blendClock)
+		c.colorQ.Commit(blendClock)
 		st.BlendOps++
 		if blendClock > tileDone {
 			tileDone = blendClock
@@ -786,8 +844,8 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	// Pass 3: transparency — blended quads test against the final
 	// opaque depth (read-only) and shade in submission order; multiple
 	// transparent layers over a pixel all shade (they stack).
-	for di := range s.transparent {
-		d := &s.transparent[di]
+	for di := range c.transparent {
+		d := &c.transparent[di]
 		bt := &s.tris[d.tri]
 		visible := s.depth.TestQuadReadOnly(&d.q)
 		if visible == 0 {
@@ -797,10 +855,10 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 		alive := d.q.Coverage()
 		shadedFrags += uint64(alive)
 		issue++
-		fpDone := s.shadeQuad(st, bt, &d.q, issue, alive)
-		cEnter := s.colorQ.Admit(fpDone)
+		fpDone := c.shadeQuad(st, bt, &d.q, issue, alive)
+		cEnter := c.colorQ.Admit(fpDone)
 		blendClock = maxU(blendClock+1, cEnter)
-		s.colorQ.Commit(blendClock)
+		c.colorQ.Commit(blendClock)
 		st.BlendOps++
 		if blendClock > tileDone {
 			tileDone = blendClock
@@ -808,8 +866,8 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	}
 	st.FragmentsOccluded += covered - shadedFrags
 
-	s.noteFPEnd(st.FragmentsShaded - shaded0)
-	for _, v := range s.fpFree {
+	c.noteFPEnd(st.FragmentsShaded - shaded0)
+	for _, v := range c.fpFree {
 		tileDone = maxU(tileDone, v)
 	}
 	return maxU(tileDone, maxU(hsrDone, blendClock))
@@ -818,7 +876,8 @@ func (s *Simulator) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 // shadeQuad dispatches one surviving quad to the least-loaded fragment
 // processor, charging ALU time and the texture-fetch chain, and returns
 // the completion cycle. alive is the covered-fragment count of q.
-func (s *Simulator) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, ready uint64, alive int) uint64 {
+func (c *rasterCtx) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, ready uint64, alive int) uint64 {
+	s := c.sim
 	fsCost := s.fsCost[bt.fs]
 	fsTex := s.fsTex[bt.fs]
 	st.FragmentsShaded += uint64(alive)
@@ -827,26 +886,26 @@ func (s *Simulator) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, read
 	// coverage.
 	st.FSInstrs += uint64(alive) * uint64(fsCost.Instructions)
 
-	enter := s.fragmentQ.Admit(ready)
+	enter := c.fragmentQ.Admit(ready)
 	fpi := 0
-	for i := 1; i < len(s.fpFree); i++ {
-		if s.fpFree[i] < s.fpFree[fpi] {
+	for i := 1; i < len(c.fpFree); i++ {
+		if c.fpFree[i] < c.fpFree[fpi] {
 			fpi = i
 		}
 	}
-	fpStart := maxU(enter, s.fpFree[fpi])
+	fpStart := maxU(enter, c.fpFree[fpi])
 
 	// Texture fetches: taps coalesce to distinct cache lines within the
 	// quad's footprint.
 	texDone := fpStart
 	if len(fsTex) > 0 {
-		texDone = s.textureChain(fpStart, bt.tex, fsTex, q, st)
+		texDone = c.textureChain(fpStart, bt.tex, fsTex, q, st)
 	}
 	aluDone := fpStart + uint64(fsCost.Instructions)
 	fpDone := maxU(aluDone, texDone)
 	st.FPBusyCycles += fpDone - fpStart
-	s.fpFree[fpi] = fpDone
-	s.fragmentQ.Commit(fpDone)
+	c.fpFree[fpi] = fpDone
+	c.fragmentQ.Commit(fpDone)
 	return fpDone
 }
 
@@ -854,18 +913,18 @@ func (s *Simulator) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, read
 // once per tile (shaded counts quads issued there): every fpFree entry
 // is either the tile-start clock or some quad's completion, so when the
 // tile shaded at least one quad, max(fpFree) is the latest completion.
-func (s *Simulator) noteFPEnd(shaded uint64) {
+func (c *rasterCtx) noteFPEnd(shaded uint64) {
 	if shaded == 0 {
 		return
 	}
 	end := uint64(0)
-	for _, v := range s.fpFree {
+	for _, v := range c.fpFree {
 		if v > end {
 			end = v
 		}
 	}
-	if end > s.frameFPEnd {
-		s.frameFPEnd = end
+	if end > c.fpEnd {
+		c.fpEnd = end
 	}
 }
 
@@ -873,14 +932,15 @@ func (s *Simulator) noteFPEnd(shaded uint64) {
 // returns the completion cycle. Filter taps that fall on the same cache
 // line coalesce (quad-level texture locality), but the logical
 // filter-weighted access count is recorded in the statistics.
-func (s *Simulator) textureChain(start uint64, tex int32, fetches []texFetch, q *raster.Quad, st *FrameStats) uint64 {
+func (c *rasterCtx) textureChain(start uint64, tex int32, fetches []texFetch, q *raster.Quad, st *FrameStats) uint64 {
+	s := c.sim
 	texture := &s.trace.Textures[tex]
 	base := s.texBase[tex]
 	cur := start
 	for fi := range fetches {
 		f := &fetches[fi]
 		st.TexAccesses += uint64(f.taps)
-		cache := s.tcaches[f.sampler%len(s.tcaches)]
+		cache := c.tcaches[f.sampler%len(c.tcaches)]
 
 		// Wrap UVs and locate the base texel. Different samplers
 		// perturb coordinates so multi-layer materials touch
