@@ -1,13 +1,23 @@
 # Developer entry points. `make ci` is the full gate the CI workflow
 # runs: vet, build, race-enabled tests, the tile-parallel determinism
-# goldens, a one-iteration bench smoke and short fuzz smokes of every
-# fuzz target.
+# goldens, the differential validation oracle, the internal/check
+# coverage floor, a one-iteration bench smoke and short fuzz smokes of
+# every fuzz target.
 
 GO ?= go
 
-.PHONY: ci vet build test race determinism bench-smoke tile-bench-smoke fuzz-smoke
+# `make bench` sampling: enough repetitions for benchstat to attach
+# confidence intervals to the committed baselines without taking all day.
+BENCHTIME ?= 100ms
+BENCHCOUNT ?= 5
 
-ci: vet build race determinism bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the validation subsystem itself — the
+# checker that gates everything else must not rot unexercised.
+CHECK_COVER_FLOOR ?= 85
+
+.PHONY: ci vet build test race determinism validate cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism validate cover-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +38,37 @@ race:
 determinism:
 	$(GO) test -race -count=1 -run '^TestGoldenDeterminism' ./internal/tbr
 
+# The statistical acceptance gate: the differential oracle of
+# internal/check runs MEGsim-sampled vs full simulation over three fixed
+# randomized workloads (race-enabled, invariants armed) and fails if any
+# metric's relative error leaves its tolerance band. The JSON accuracy
+# report lands in results/validate.json.
+validate:
+	$(GO) run -race ./cmd/experiments validate -seeds 1,2,3 -out results/validate.json
+
+# Coverage floor for the validation subsystem.
+cover-check:
+	@cov=$$($(GO) test -cover ./internal/check | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "cover-check: no coverage reported for internal/check"; exit 1; fi; \
+	echo "internal/check coverage: $$cov% (floor $(CHECK_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(CHECK_COVER_FLOOR))}" || { echo "cover-check: coverage $$cov% below $(CHECK_COVER_FLOOR)% floor"; exit 1; }
+
+# Benchmark baselines: run the tbr and cluster suites, keep the raw
+# benchstat-format text, and convert to JSON with cmd/benchjson. The
+# JSON files are committed as baselines; compare a fresh run with
+#   jq -r '.raw[]' results/BENCH_tbr.json > old.txt && benchstat old.txt new.txt
+bench: bench-tbr bench-cluster
+
+bench-tbr:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/tbr/... > results/BENCH_tbr.txt
+	$(GO) run ./cmd/benchjson -in results/BENCH_tbr.txt -out results/BENCH_tbr.json
+
+bench-cluster:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/cluster > results/BENCH_cluster.txt
+	$(GO) run ./cmd/benchjson -in results/BENCH_cluster.txt -out results/BENCH_cluster.json
+
 # One iteration of every benchmark: catches bitrot in the bench suite
 # without paying for stable measurements.
 bench-smoke:
@@ -45,3 +86,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/gltrace
 	$(GO) test -run '^$$' -fuzz '^FuzzGeneratedProgramExec$$' -fuzztime 5s ./internal/shader
 	$(GO) test -run '^$$' -fuzz '^FuzzValidateArbitraryPrograms$$' -fuzztime 5s ./internal/shader
+	$(GO) test -run '^$$' -fuzz '^FuzzSearch$$' -fuzztime 5s ./internal/cluster

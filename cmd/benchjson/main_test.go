@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/cluster
+cpu: Example CPU @ 2.40GHz
+BenchmarkKMeans-8   	     100	    123456 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkSearch-8   	      10	   9876543 ns/op
+BenchmarkCustom     	       5	     11.5 ns/op	     3.25 frames/op
+PASS
+ok  	repro/internal/cluster	2.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "Example CPU @ 2.40GHz" {
+		t.Errorf("config = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+
+	km := f.Benchmarks[0]
+	if km.Name != "BenchmarkKMeans" || km.Procs != 8 || km.Iterations != 100 {
+		t.Errorf("kmeans = %+v", km)
+	}
+	if km.Pkg != "repro/internal/cluster" {
+		t.Errorf("pkg = %q", km.Pkg)
+	}
+	if km.Metrics["ns/op"] != 123456 || km.Metrics["B/op"] != 2048 || km.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics = %v", km.Metrics)
+	}
+
+	custom := f.Benchmarks[2]
+	if custom.Name != "BenchmarkCustom" || custom.Procs != 1 {
+		t.Errorf("custom = %+v", custom)
+	}
+	if custom.Metrics["frames/op"] != 3.25 {
+		t.Errorf("custom metrics = %v", custom.Metrics)
+	}
+
+	// Raw must reconstruct a benchstat-consumable file: every config
+	// and benchmark line, in order, nothing else.
+	want := []string{
+		"goos: linux", "goarch: amd64", "pkg: repro/internal/cluster",
+		"cpu: Example CPU @ 2.40GHz",
+	}
+	if len(f.Raw) != len(want)+3 {
+		t.Fatalf("raw has %d lines: %q", len(f.Raw), f.Raw)
+	}
+	for i, w := range want {
+		if f.Raw[i] != w {
+			t.Errorf("raw[%d] = %q, want %q", i, f.Raw[i], w)
+		}
+	}
+	for _, line := range f.Raw[len(want):] {
+		if !strings.HasPrefix(line, "Benchmark") {
+			t.Errorf("unexpected raw line %q", line)
+		}
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8\t12",                 // no metrics
+		"BenchmarkX-8\tabc\t100 ns/op",     // non-numeric iterations
+		"BenchmarkX-8\t10\tfast ns/op",     // non-numeric metric
+		"BenchmarkX-8\t10\t100 ns/op\t999", // dangling value
+	} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	f, err := Parse(strings.NewReader("PASS\nok example 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 || len(f.Raw) != 0 {
+		t.Errorf("parsed something from non-benchmark input: %+v", f)
+	}
+}

@@ -27,6 +27,14 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `experiments validate` runs the differential
+	// oracle instead of the paper's tables.
+	if len(os.Args) > 1 && os.Args[1] == "validate" {
+		if err := runValidate(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		benchmarks = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all)")
 		frameDiv   = flag.Int("frame-div", 1, "divide frame counts for faster runs")

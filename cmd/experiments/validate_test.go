@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil {
+		t.Fatalf("parseSeeds: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("parseSeeds = %v", got)
+	}
+	for _, bad := range []string{"", ",,", "x", "1,-2"} {
+		if _, err := parseSeeds(bad); err == nil {
+			t.Errorf("parseSeeds(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "validate.json")
+	var buf bytes.Buffer
+	err := runValidate([]string{"-seeds", "1", "-frame-div", "16", "-quiet", "-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("runValidate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "validation gate passed") {
+		t.Errorf("missing pass line:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Pass  bool `json:"pass"`
+		Seeds []struct {
+			Seed    uint64 `json:"seed"`
+			Metrics []struct {
+				Name string `json:"name"`
+			} `json:"metrics"`
+		} `json:"seeds"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if !rep.Pass || len(rep.Seeds) != 1 || len(rep.Seeds[0].Metrics) != 8 {
+		t.Errorf("unexpected report: %s", data)
+	}
+}
+
+// TestValidateSubcommandCorruptFaultFails drives the invariant layer
+// end to end through the CLI: statistics corruption must fail the gate.
+func TestValidateSubcommandCorruptFaultFails(t *testing.T) {
+	var buf bytes.Buffer
+	err := runValidate([]string{"-seeds", "1", "-frame-div", "16", "-quiet", "-fault-corrupt"}, &buf)
+	if err == nil {
+		t.Fatalf("gate passed despite corrupted statistics:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "violations=") {
+		t.Errorf("output does not surface violations:\n%s", buf.String())
+	}
+}
+
+func TestValidateSubcommandBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runValidate([]string{"-seeds", "nope"}, &buf); err == nil {
+		t.Fatal("accepted unparseable seeds")
+	}
+	if err := runValidate([]string{"-fault-drop", "7"}, &buf); err == nil {
+		t.Fatal("accepted out-of-range fault rate")
+	}
+}

@@ -2,13 +2,16 @@
 // workload: functional characterization, frame clustering, and
 // cycle-level simulation of only the representative frames, printing the
 // extrapolated full-sequence statistics. With -validate it additionally
-// simulates the whole sequence and reports the relative errors (the
-// paper's Fig. 7 evaluation for a single benchmark).
+// simulates the whole sequence (with invariant checking armed) and
+// reports per-metric relative error against configurable tolerance
+// bands, exiting non-zero when the accuracy gate fails (the paper's
+// Fig. 7 evaluation for a single benchmark).
 //
 // Usage:
 //
 //	megsim -benchmark bbr1
 //	megsim -trace bbr1.trace -validate
+//	megsim -benchmark hcr -validate -tol 2 -validate-out report.json
 //	megsim -benchmark jjo -threshold 0.95 -seed 7
 //	megsim -benchmark hcr -tile-workers 4
 package main
@@ -21,7 +24,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/check"
 	"repro/internal/harness"
 	"repro/megsim"
 )
@@ -48,6 +51,8 @@ func run(args []string, stdout io.Writer) error {
 		tileWorkers = fs.Int("tile-workers", 0, "tile-parallel raster workers per frame (0 = serial raster stage)")
 		jsonOut     = fs.Bool("json", false, "print machine-readable JSON instead of text")
 		saveSel     = fs.String("save-selection", "", "write the frame selection as JSON to this file")
+		tolScale    = fs.Float64("tol", 1, "scale factor on the default -validate tolerance bands")
+		valOut      = fs.String("validate-out", "", "write the -validate accuracy report as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,8 +82,25 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+
+	var val *validation
+	if *validate {
+		val, err = validateRun(tr, run, gpu, *tolScale)
+		if err != nil {
+			return err
+		}
+		if *valOut != "" {
+			if err := writeValidation(*valOut, tr.Name, val); err != nil {
+				return err
+			}
+		}
+	}
+
 	if *jsonOut {
-		return printJSON(stdout, tr, run, sampledTime)
+		if err := printJSON(stdout, tr, run, sampledTime, val); err != nil {
+			return err
+		}
+		return val.gateErr()
 	}
 
 	fmt.Fprintf(stdout, "workload:        %s (%d frames)\n", tr.Name, tr.NumFrames())
@@ -92,24 +114,88 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "estimated l2:          %d\n", run.Estimate.L2.Accesses)
 	fmt.Fprintf(stdout, "estimated tile cache:  %d\n", run.Estimate.TileCache.Accesses)
 
-	if *validate {
+	if val != nil {
 		fmt.Fprintln(stdout)
-		fmt.Fprintln(stdout, "validating against full simulation...")
-		start = time.Now()
-		full, err := megsim.SimulateFull(tr, gpu)
-		if err != nil {
-			return err
-		}
-		fullTime := time.Since(start)
-		actual := megsim.SumStats(full)
-		acc := megsim.CompareAccuracy(&run.Estimate, &actual)
 		fmt.Fprintf(stdout, "full simulation:  %v (%.0fx slower than the sampled run)\n",
-			fullTime.Round(time.Millisecond), float64(fullTime)/float64(sampledTime))
-		for _, m := range core.Metrics() {
-			fmt.Fprintf(stdout, "relative error %-22s %.2f%%\n", m.String()+":", acc.Percent(m))
+			val.FullSimTime.Round(time.Millisecond), float64(val.FullSimTime)/float64(sampledTime))
+		for _, m := range val.Metrics {
+			verdict := "ok"
+			if !m.Pass {
+				verdict = "OUT OF BAND"
+			}
+			fmt.Fprintf(stdout, "relative error %-22s %.2f%% (band %.1f%%) %s\n",
+				m.Name+":", m.RelErr*100, m.Tolerance*100, verdict)
+		}
+		for _, v := range val.Violations {
+			fmt.Fprintf(stdout, "invariant violation: %s\n", v)
 		}
 	}
-	return nil
+	return val.gateErr()
+}
+
+// validation is the -validate accuracy report: the sampled estimate
+// judged against a fully simulated ground truth with invariant checks
+// armed, per tolerance band.
+type validation struct {
+	Metrics    []check.MetricError `json:"metrics"`
+	Violations []check.Violation   `json:"violations,omitempty"`
+	Pass       bool                `json:"pass"`
+
+	FullSimTime time.Duration `json:"-"`
+}
+
+// gateErr converts a failed report into the command's exit error. A nil
+// receiver (no -validate) passes.
+func (v *validation) gateErr() error {
+	if v == nil || v.Pass {
+		return nil
+	}
+	return fmt.Errorf("validation failed: accuracy out of band or invariants violated")
+}
+
+func validateRun(tr *megsim.Trace, run *megsim.Run, gpu megsim.GPUConfig, tolScale float64) (*validation, error) {
+	inv := check.NewInvariants(gpu)
+	gpu.Check = inv
+	start := time.Now()
+	var full []megsim.FrameStats
+	var err error
+	if gpu.FlushCachesPerFrame {
+		full, err = megsim.SimulateFullParallel(tr, gpu, 0)
+	} else {
+		full, err = megsim.SimulateFull(tr, gpu)
+	}
+	if err != nil {
+		return nil, err
+	}
+	val := &validation{FullSimTime: time.Since(start)}
+	actual := megsim.SumStats(full)
+	val.Metrics = check.CompareRows(&run.Estimate, &actual, check.DefaultTolerance().Scaled(tolScale))
+	val.Violations = inv.Violations()
+	val.Pass = len(val.Violations) == 0
+	for _, m := range val.Metrics {
+		if !m.Pass {
+			val.Pass = false
+		}
+	}
+	return val, nil
+}
+
+func writeValidation(path, workload string, val *validation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Workload string `json:"workload"`
+		*validation
+	}{workload, val}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
@@ -128,18 +214,19 @@ func loadTrace(path, benchmark string, frameDiv int) (*megsim.Trace, error) {
 }
 
 // printJSON emits a machine-readable run summary.
-func printJSON(w io.Writer, tr *megsim.Trace, run *megsim.Run, sampled time.Duration) error {
+func printJSON(w io.Writer, tr *megsim.Trace, run *megsim.Run, sampled time.Duration, val *validation) error {
 	out := struct {
-		Workload        string  `json:"workload"`
-		Frames          int     `json:"frames"`
-		Clusters        int     `json:"clusters"`
-		Representatives []int   `json:"representatives"`
-		Reduction       float64 `json:"reduction_factor"`
-		SampledMillis   int64   `json:"sampled_run_ms"`
-		Cycles          uint64  `json:"estimated_cycles"`
-		DRAMAccesses    uint64  `json:"estimated_dram_accesses"`
-		L2Accesses      uint64  `json:"estimated_l2_accesses"`
-		TileAccesses    uint64  `json:"estimated_tile_cache_accesses"`
+		Workload        string      `json:"workload"`
+		Frames          int         `json:"frames"`
+		Clusters        int         `json:"clusters"`
+		Representatives []int       `json:"representatives"`
+		Reduction       float64     `json:"reduction_factor"`
+		SampledMillis   int64       `json:"sampled_run_ms"`
+		Cycles          uint64      `json:"estimated_cycles"`
+		DRAMAccesses    uint64      `json:"estimated_dram_accesses"`
+		L2Accesses      uint64      `json:"estimated_l2_accesses"`
+		TileAccesses    uint64      `json:"estimated_tile_cache_accesses"`
+		Validation      *validation `json:"validation,omitempty"`
 	}{
 		Workload:        tr.Name,
 		Frames:          tr.NumFrames(),
@@ -151,6 +238,7 @@ func printJSON(w io.Writer, tr *megsim.Trace, run *megsim.Run, sampled time.Dura
 		DRAMAccesses:    run.Estimate.DRAM.Accesses,
 		L2Accesses:      run.Estimate.L2.Accesses,
 		TileAccesses:    run.Estimate.TileCache.Accesses,
+		Validation:      val,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

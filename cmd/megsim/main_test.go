@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestValidateWithinBandAcrossSeeds is the CLI half of the acceptance
+// gate: `megsim -validate` on three fixed clustering seeds must report
+// every metric's sampled-vs-full relative error within the configured
+// band, for both raster-stage modes.
+func TestValidateWithinBandAcrossSeeds(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	for _, seed := range []uint64{1, 2, 3} {
+		var buf bytes.Buffer
+		args := []string{
+			"-benchmark", "hcr", "-frame-div", "40",
+			"-validate", "-seed", strconv.FormatUint(seed, 10),
+			"-validate-out", outPath,
+		}
+		if seed == 2 {
+			args = append(args, "-tile-workers", "2")
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("seed %d: %v\noutput:\n%s", seed, err, buf.String())
+		}
+		out := buf.String()
+		if strings.Contains(out, "OUT OF BAND") {
+			t.Errorf("seed %d: accuracy out of band:\n%s", seed, out)
+		}
+		if !strings.Contains(out, "relative error cycles:") {
+			t.Errorf("seed %d: missing per-metric error report:\n%s", seed, out)
+		}
+
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatalf("seed %d: report not written: %v", seed, err)
+		}
+		var rep struct {
+			Workload string `json:"workload"`
+			Metrics  []struct {
+				Name   string  `json:"name"`
+				RelErr float64 `json:"rel_err"`
+				Pass   bool    `json:"pass"`
+			} `json:"metrics"`
+			Pass bool `json:"pass"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("seed %d: bad report JSON: %v", seed, err)
+		}
+		if !rep.Pass || len(rep.Metrics) != 4 {
+			t.Errorf("seed %d: report = %+v, want 4 passing metrics", seed, rep)
+		}
+	}
+}
+
+func TestValidateJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-json"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var out struct {
+		Workload   string `json:"workload"`
+		Validation *struct {
+			Pass bool `json:"pass"`
+		} `json:"validation"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if out.Validation == nil || !out.Validation.Pass {
+		t.Errorf("JSON output missing passing validation block: %s", buf.String())
+	}
+}
+
+func TestValidateGateFailsOnImpossibleBand(t *testing.T) {
+	// A tolerance scale of 0 makes every band 0%: the gate must fail
+	// with a non-zero exit (an error from run).
+	var buf bytes.Buffer
+	err := run([]string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-tol", "0"}, &buf)
+	if err == nil {
+		t.Fatalf("run passed with zero-width tolerance bands:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "OUT OF BAND") {
+		t.Errorf("failing report does not mark metrics out of band:\n%s", buf.String())
+	}
+}
+
+func TestTraceAndBenchmarkAreExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", "x.trace", "-benchmark", "hcr"}, &buf); err == nil {
+		t.Fatal("accepted both -trace and -benchmark")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("accepted neither -trace nor -benchmark")
+	}
+}

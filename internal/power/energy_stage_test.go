@@ -1,0 +1,208 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tbr"
+	"repro/internal/tbr/mem"
+)
+
+// unitModel has distinct per-event energies so every attribution in
+// FrameEnergy is hand-computable and a misrouted event shows up as a
+// wrong phase, not just a wrong total.
+func unitModel() EnergyModel {
+	return EnergyModel{
+		VertexFetch:  1,
+		VSInstr:      2,
+		PrimAssembly: 3,
+		ClipCull:     4,
+
+		PLBWrite:     5,
+		TileListRead: 6,
+
+		RasterQuad: 7,
+		EarlyZTest: 8,
+		FSInstr:    9,
+		TexAccess:  10,
+		Blend:      11,
+		FBWrite:    12,
+
+		L2Access:   13,
+		DRAMAccess: 14,
+	}
+}
+
+// TestFrameEnergyPerStageAttribution drives every event class of the
+// energy model through FrameEnergy one at a time and checks the exact
+// energy lands in the exact phase the model documents.
+func TestFrameEnergyPerStageAttribution(t *testing.T) {
+	m := unitModel()
+	cases := []struct {
+		name string
+		st   tbr.FrameStats
+		want Breakdown
+	}{
+		{
+			name: "zero activity",
+			st:   tbr.FrameStats{},
+			want: Breakdown{},
+		},
+		{
+			name: "vertex cache accesses are geometry",
+			st:   tbr.FrameStats{VertexCache: mem.CacheStats{Accesses: 3}},
+			want: Breakdown{Geometry: 3 * 1},
+		},
+		{
+			name: "vertex shader instructions are geometry",
+			st:   tbr.FrameStats{VSInstrs: 5},
+			want: Breakdown{Geometry: 5 * 2},
+		},
+		{
+			name: "primitives pay assembly and clip/cull",
+			st:   tbr.FrameStats{PrimsIn: 2},
+			want: Breakdown{Geometry: 2*3 + 2*4},
+		},
+		{
+			// A PLB record write also writes through the L2, so one
+			// tile entry carries PLBWrite + L2Access.
+			name: "tile entries are tiling (incl. L2 write-through)",
+			st:   tbr.FrameStats{TileEntries: 4},
+			want: Breakdown{Tiling: 4*5 + 4*13},
+		},
+		{
+			name: "tile cache accesses are tiling",
+			st:   tbr.FrameStats{TileCache: mem.CacheStats{Accesses: 3}},
+			want: Breakdown{Tiling: 3 * 6},
+		},
+		{
+			name: "rasterized quads pay raster and early-Z",
+			st:   tbr.FrameStats{QuadsRasterized: 2},
+			want: Breakdown{Raster: 2*7 + 2*8},
+		},
+		{
+			name: "fragment shader instructions are raster",
+			st:   tbr.FrameStats{FSInstrs: 3},
+			want: Breakdown{Raster: 3 * 9},
+		},
+		{
+			name: "texture accesses are raster",
+			st:   tbr.FrameStats{TexAccesses: 2},
+			want: Breakdown{Raster: 2 * 10},
+		},
+		{
+			name: "blend ops are raster",
+			st:   tbr.FrameStats{BlendOps: 2},
+			want: Breakdown{Raster: 2 * 11},
+		},
+		{
+			// A framebuffer line is written through the L2 as well.
+			name: "framebuffer lines are raster (incl. L2 traffic)",
+			st:   tbr.FrameStats{FramebufferLines: 2},
+			want: Breakdown{Raster: 2*12 + 2*13},
+		},
+		{
+			name: "vertex cache misses+writebacks are geometry L2 traffic",
+			st:   tbr.FrameStats{VertexCache: mem.CacheStats{Misses: 1, Writebacks: 1}},
+			want: Breakdown{Geometry: 2 * 13},
+		},
+		{
+			name: "tile cache misses+writebacks are tiling L2 traffic",
+			st:   tbr.FrameStats{TileCache: mem.CacheStats{Misses: 1, Writebacks: 1}},
+			want: Breakdown{Tiling: 2 * 13},
+		},
+		{
+			name: "texture cache misses+writebacks are raster L2 traffic",
+			st:   tbr.FrameStats{TextureCache: mem.CacheStats{Misses: 2}},
+			want: Breakdown{Raster: 2 * 13},
+		},
+		{
+			// DRAM energy splits by each phase's share of L2 traffic:
+			// geometry contributed 1 of 4 L2 accesses, raster 3 of 4.
+			name: "DRAM energy splits by L2 traffic share",
+			st: tbr.FrameStats{
+				VertexCache:  mem.CacheStats{Misses: 1},
+				TextureCache: mem.CacheStats{Misses: 3},
+				DRAM:         mem.DRAMStats{Accesses: 4},
+			},
+			want: Breakdown{
+				Geometry: 1*13 + 14*4*1.0/4,
+				Raster:   3*13 + 14*4*3.0/4,
+			},
+		},
+		{
+			// With no L2 traffic there is nothing to apportion DRAM
+			// energy to; the model must not divide by zero.
+			name: "DRAM accesses without L2 traffic attribute nothing",
+			st:   tbr.FrameStats{DRAM: mem.DRAMStats{Accesses: 100}},
+			want: Breakdown{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := m.FrameEnergy(&tc.st)
+			const eps = 1e-9
+			if math.Abs(got.Geometry-tc.want.Geometry) > eps ||
+				math.Abs(got.Tiling-tc.want.Tiling) > eps ||
+				math.Abs(got.Raster-tc.want.Raster) > eps {
+				t.Errorf("FrameEnergy = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFrameEnergyZeroActivityIsZero(t *testing.T) {
+	for _, m := range []EnergyModel{unitModel(), DefaultEnergyModel()} {
+		b := m.FrameEnergy(&tbr.FrameStats{})
+		if b.Geometry != 0 || b.Tiling != 0 || b.Raster != 0 {
+			t.Fatalf("zero-activity frame has energy %+v", b)
+		}
+		if g, ti, r := b.Fractions(); g != 0 || ti != 0 || r != 0 {
+			t.Fatalf("zero-activity fractions %v/%v/%v", g, ti, r)
+		}
+	}
+}
+
+// TestFrameEnergyOverflowAdjacentCountersStayFinite saturates every
+// counter: the float64 conversion must keep all phases finite and
+// positive (no uint64 wraparound, no NaN from the DRAM apportioning).
+func TestFrameEnergyOverflowAdjacentCountersStayFinite(t *testing.T) {
+	const max = math.MaxUint64
+	st := tbr.FrameStats{
+		Cycles:           max,
+		VSInstrs:         max,
+		PrimsIn:          max,
+		TileEntries:      max,
+		QuadsRasterized:  max,
+		FSInstrs:         max,
+		TexAccesses:      max,
+		BlendOps:         max,
+		FramebufferLines: max,
+		VertexCache:      mem.CacheStats{Accesses: max, Misses: max, Writebacks: max},
+		TextureCache:     mem.CacheStats{Accesses: max, Misses: max, Writebacks: max},
+		TileCache:        mem.CacheStats{Accesses: max, Misses: max, Writebacks: max},
+		L2:               mem.CacheStats{Accesses: max, Misses: max, Writebacks: max},
+		DRAM:             mem.DRAMStats{Accesses: max},
+	}
+	for _, m := range []EnergyModel{unitModel(), DefaultEnergyModel()} {
+		b := m.FrameEnergy(&st)
+		for phase, v := range map[string]float64{
+			"geometry": b.Geometry, "tiling": b.Tiling, "raster": b.Raster, "total": b.Total(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("%s energy = %v on saturated counters", phase, v)
+			}
+		}
+		g, ti, r := b.Fractions()
+		if math.Abs(g+ti+r-1) > 1e-9 {
+			t.Fatalf("saturated-counter fractions sum to %v", g+ti+r)
+		}
+	}
+}
+
+// TestSequenceEnergyEmpty pins the zero-length base case.
+func TestSequenceEnergyEmpty(t *testing.T) {
+	if got := DefaultEnergyModel().SequenceEnergy(nil).Total(); got != 0 {
+		t.Fatalf("SequenceEnergy(nil) = %v", got)
+	}
+}

@@ -94,6 +94,26 @@ type Config struct {
 	// race-free and deterministic. Nil disables observability at the
 	// cost of one branch per instrumentation point.
 	Obs *obs.Registry
+
+	// Faults is the deterministic fault-injection layer used by the
+	// validation subsystem (internal/check) to perturb the simulated
+	// microarchitecture. The zero value injects nothing.
+	Faults FaultConfig
+
+	// Check, when non-nil, receives every completed frame's statistics
+	// for invariant verification (internal/check.Invariants is the
+	// standard implementation) and arms the per-queue occupancy checks.
+	// A non-nil error from CheckFrame aborts the run via panic (the
+	// parallel drivers convert it back into an error). Nil disables all
+	// checking at the cost of one branch per frame.
+	Check FrameChecker
+}
+
+// FrameChecker verifies invariants over completed frame statistics.
+// Implementations must be safe for concurrent use: the frame-parallel
+// drivers share one checker across workers.
+type FrameChecker interface {
+	CheckFrame(st *FrameStats) error
 }
 
 // DefaultConfig returns the Table I configuration.
@@ -147,6 +167,9 @@ func (c Config) Validate() error {
 	}
 	if c.TileWorkers < 0 {
 		return fmt.Errorf("tbr: TileWorkers %d must be >= 0 (0 = serial raster stage)", c.TileWorkers)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	for _, cc := range []mem.CacheConfig{c.VertexCache, c.TextureCache, c.TileCache, c.L2} {
 		if err := cc.Validate(); err != nil {

@@ -123,7 +123,10 @@ func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, work
 		workers = len(frames)
 	}
 	out := make([]FrameStats, len(frames))
-	if workers <= 1 {
+	// A single worker skips the pool — unless a checker is attached, in
+	// which case the pool's recover is what converts a failed CheckFrame
+	// (a panic out of SimulateFrame) into an error.
+	if workers <= 1 && cfg.Check == nil {
 		sim, err := New(cfg, trace)
 		if err != nil {
 			return nil, err
@@ -160,7 +163,9 @@ func SimulateAllParallel(cfg Config, trace *gltrace.Trace, workers int, progress
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	// See SimulateFramesParallel for why a checker disables the serial
+	// fast path.
+	if workers <= 1 && cfg.Check == nil {
 		sim, err := New(cfg, trace)
 		if err != nil {
 			return nil, err

@@ -43,6 +43,10 @@ type Queue struct {
 	// additive Stats counters are exported at frame granularity by the
 	// simulator instead, so the uninstrumented Admit pays one nil check.
 	obsOccupancy *obs.Histogram
+
+	// checkInv arms the occupancy invariant in Admit (see
+	// EnableInvariantCheck). Off by default: the check walks every slot.
+	checkInv bool
 }
 
 // New returns a queue with the given number of entries. It panics on a
@@ -91,12 +95,35 @@ func (q *Queue) Admit(ready uint64) uint64 {
 		q.obsOccupancy.Observe(occupied)
 	}
 	free := q.doneAt[q.head]
+	enter := ready
 	if free > ready {
 		q.Stats.Stalls++
 		q.Stats.StallCycles += free - ready
-		return free
+		enter = free
 	}
-	return ready
+	if q.checkInv {
+		q.verifyAdmit(enter)
+	}
+	return enter
+}
+
+// EnableInvariantCheck arms the occupancy invariant: every Admit
+// verifies that a slot is actually free at the cycle the item enters,
+// i.e. that occupancy never exceeds the configured capacity. Disabled
+// queues pay only a bool check.
+func (q *Queue) EnableInvariantCheck() { q.checkInv = true }
+
+// verifyAdmit panics if admitting an item at cycle enter would exceed
+// the queue capacity. In a FIFO ring the occupancy invariant reduces to
+// the head slot: if the oldest occupant has left by cycle enter, at
+// most len-1 slots are busy; if it has not, the ring is over capacity.
+// It can only fire if the stall-resolution logic or the ring state is
+// corrupted, which is exactly what it exists to detect.
+func (q *Queue) verifyAdmit(enter uint64) {
+	if q.doneAt[q.head] > enter {
+		panic(fmt.Sprintf("queue %q: occupancy invariant violated: item admitted at cycle %d while the oldest occupant holds its slot until %d (capacity %d)",
+			q.name, enter, q.doneAt[q.head], len(q.doneAt)))
+	}
 }
 
 // Commit records that the item admitted by the last Admit leaves the

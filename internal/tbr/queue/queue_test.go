@@ -122,3 +122,66 @@ func TestQueueThroughputBound(t *testing.T) {
 		t.Fatalf("throughput model broken: last done = %d", last)
 	}
 }
+
+func TestQueueInvariantCheckCleanTraffic(t *testing.T) {
+	// Normal two-phase usage never violates occupancy, so the armed
+	// check must stay silent through fill, stall and wrap-around.
+	q := New("q", 2)
+	q.EnableInvariantCheck()
+	var last uint64
+	for i := 0; i < 20; i++ {
+		at := q.Admit(uint64(i))
+		done := at + 7
+		if done < last+7 {
+			done = last + 7
+		}
+		q.Commit(done)
+		last = done
+	}
+}
+
+func TestQueueInvariantCheckFires(t *testing.T) {
+	// The occupancy invariant cannot fire through the public API — that
+	// is the point of the invariant — so corrupt the ring state directly
+	// and verify the check detects it. This is the firing-case test the
+	// validation subsystem requires for every check.
+	t.Run("head slot busy past admit", func(t *testing.T) {
+		q := New("q", 2)
+		q.doneAt[q.head] = 100 // occupant still holding the head slot
+		defer func() {
+			if recover() == nil {
+				t.Fatal("verifyAdmit did not panic with the head slot busy")
+			}
+		}()
+		q.verifyAdmit(50)
+	})
+	t.Run("head rotated onto busy slot", func(t *testing.T) {
+		// A head index rotated past a still-busy slot (non-FIFO ring
+		// corruption) is also caught by the head check.
+		q := New("q", 2)
+		q.doneAt[0] = 10
+		q.doneAt[1] = 100
+		q.head = 1
+		defer func() {
+			if recover() == nil {
+				t.Fatal("verifyAdmit did not panic with the head on a busy slot")
+			}
+		}()
+		q.verifyAdmit(50)
+	})
+}
+
+func TestQueueArmedAdmitNeverFiresThroughAPI(t *testing.T) {
+	// Admit resolves the stall against the head slot before verifying,
+	// so through the public API the armed check is provably silent —
+	// only corrupted ring state (the direct verifyAdmit cases above)
+	// can trip it. Hammer an armed queue with adversarial ready cycles
+	// to pin that down.
+	q := New("q", 3)
+	q.EnableInvariantCheck()
+	readies := []uint64{0, 5, 5, 0, 100, 2, 2, 2, 50, 0}
+	for i, r := range readies {
+		at := q.Admit(r)
+		q.Commit(at + uint64(13*(i%4)+1))
+	}
+}

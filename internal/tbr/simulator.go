@@ -207,7 +207,7 @@ func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
 	}
 	s := &Simulator{cfg: cfg, trace: trace}
 
-	s.dram = mem.NewDRAM(scaleDRAMToGPUClock(cfg.DRAM, cfg.FrequencyMHz))
+	s.dram = mem.NewDRAM(cfg.Faults.perturbDRAM(scaleDRAMToGPUClock(cfg.DRAM, cfg.FrequencyMHz)))
 	s.l2 = mem.NewCache(cfg.L2, s.dram)
 	s.vcache = mem.NewCache(cfg.VertexCache, s.l2)
 	s.tilecache = mem.NewCache(cfg.TileCache, s.l2)
@@ -221,6 +221,11 @@ func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
 	s.triangleQ = queue.New("triangle", cfg.TriangleQueueEntries)
 	s.fragmentQ = queue.New("fragment", cfg.FragmentQueueEntries)
 	s.colorQ = queue.New("color", cfg.ColorQueueEntries)
+	if cfg.Check != nil {
+		for _, q := range []*queue.Queue{s.vertexQ, s.triangleQ, s.fragmentQ, s.colorQ} {
+			q.EnableInvariantCheck()
+		}
+	}
 
 	for _, p := range trace.VertexShaders {
 		s.vsCost = append(s.vsCost, p.DynamicCost())
@@ -403,6 +408,14 @@ func (s *Simulator) SimulateFrame(f int) FrameStats {
 
 	if s.obs.Enabled() {
 		s.recordFrameObs(&st, geomEnd, flushEnd)
+	}
+	if s.cfg.Faults.CorruptStats {
+		s.cfg.Faults.corruptFrameStats(&st)
+	}
+	if s.cfg.Check != nil {
+		if err := s.cfg.Check.CheckFrame(&st); err != nil {
+			panic(fmt.Sprintf("tbr: frame %d: %v", f, err))
+		}
 	}
 	return st
 }
@@ -659,11 +672,35 @@ func (c *rasterCtx) runTile(st *FrameStats, bin, tx, ty int, clock uint64) uint6
 			Y: float64(min(ty*s.cfg.TileSize+s.cfg.TileSize, vp.Height))},
 	}
 
-	var tileDone uint64
-	if s.cfg.DeferredShading {
-		tileDone = c.deferredTile(st, bin, clip, clock)
-	} else {
-		tileDone = c.immediateTile(st, bin, clip, clock)
+	// Fault injection: rolls are keyed by (frame, tile), so a frame's
+	// fault pattern is identical across worker counts and whether the
+	// frame runs standalone or mid-sequence.
+	passes := 1
+	if fl := &s.cfg.Faults; fl.Enabled() {
+		frame := st.Frame
+		if fl.StallRate > 0 && fl.StallCycles > 0 && fl.roll(frame, bin, faultClassStall) < fl.StallRate {
+			clock += fl.StallCycles
+		}
+		if fl.DropTileRate > 0 && fl.roll(frame, bin, faultClassDrop) < fl.DropTileRate {
+			passes = 0
+		} else if fl.DuplicateTileRate > 0 && fl.roll(frame, bin, faultClassDuplicate) < fl.DuplicateTileRate {
+			passes = 2
+		}
+	}
+
+	tileDone := clock
+	for p := 0; p < passes; p++ {
+		if s.cfg.DeferredShading {
+			tileDone = c.deferredTile(st, bin, clip, tileDone)
+		} else {
+			tileDone = c.immediateTile(st, bin, clip, tileDone)
+		}
+	}
+	if fl := &s.cfg.Faults; fl.CacheFlushRate > 0 && fl.roll(st.Frame, bin, faultClassFlush) < fl.CacheFlushRate {
+		tileDone = maxU(tileDone, c.tilecache.Flush(tileDone))
+		for _, tc := range c.tcaches {
+			tileDone = maxU(tileDone, tc.Flush(tileDone))
+		}
 	}
 
 	// Tile writeback: the resolved tile colors stream to the

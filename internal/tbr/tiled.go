@@ -28,7 +28,7 @@ func (s *Simulator) initTileWorkers() {
 		TextureCache:     s.cfg.TextureCache,
 		NumTextureCaches: s.cfg.NumTextureCaches,
 		L2:               s.cfg.L2,
-		DRAM:             scaleDRAMToGPUClock(s.cfg.DRAM, s.cfg.FrequencyMHz),
+		DRAM:             s.cfg.Faults.perturbDRAM(scaleDRAMToGPUClock(s.cfg.DRAM, s.cfg.FrequencyMHz)),
 	}
 	for w := 0; w < s.cfg.TileWorkers; w++ {
 		sh := mem.NewShard(shardCfg)
@@ -41,6 +41,10 @@ func (s *Simulator) initTileWorkers() {
 			fragmentQ: queue.New("fragment", s.cfg.FragmentQueueEntries),
 			colorQ:    queue.New("color", s.cfg.ColorQueueEntries),
 			fpFree:    make([]uint64, s.cfg.NumFragmentProcessors),
+		}
+		if s.cfg.Check != nil {
+			tw.ctx.fragmentQ.EnableInvariantCheck()
+			tw.ctx.colorQ.EnableInvariantCheck()
 		}
 		s.tileWorkers = append(s.tileWorkers, tw)
 	}
@@ -92,7 +96,9 @@ func (s *Simulator) rasterPassTiled(st *FrameStats, start uint64) uint64 {
 		tw.shard.ResetStats()
 		tw.ctx.fragmentQ.Reset()
 		tw.ctx.colorQ.Reset()
-		tw.partial = FrameStats{}
+		// Frame carries through to the per-tile fault rolls; the
+		// frame-end fold (st.Add) ignores it.
+		tw.partial = FrameStats{Frame: st.Frame}
 	}
 
 	if workers <= 1 {
