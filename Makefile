@@ -15,9 +15,13 @@ BENCHCOUNT ?= 5
 # checker that gates everything else must not rot unexercised.
 CHECK_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism validate cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the run supervisor — the machinery
+# that promises byte-identical resume must stay exercised.
+RESILIENCE_COVER_FLOOR ?= 85
 
-ci: vet build race determinism validate cover-check bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience validate cover-check resilience-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism resilience validate cover-check resilience-cover-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +42,16 @@ race:
 determinism:
 	$(GO) test -race -count=1 -run '^TestGoldenDeterminism' ./internal/tbr
 
+# Explicit gate on the resilience guarantees: the kill-and-resume
+# golden (byte-identical stats, obs snapshots and checkpoint bytes
+# across kill points, worker counts and tile-worker counts, under
+# injected faults) and the degraded-mode oracle (three fixed seeds,
+# quarantined representative, accuracy within 3x-widened bands), both
+# race-detector clean.
+resilience:
+	$(GO) test -race -count=1 -run '^TestGoldenKillAndResume$$' ./internal/resilience
+	$(GO) test -race -count=1 -run '^TestDegradedAccuracyWithinWidenedBands$$' ./internal/resilience
+
 # The statistical acceptance gate: the differential oracle of
 # internal/check runs MEGsim-sampled vs full simulation over three fixed
 # randomized workloads (race-enabled, invariants armed) and fails if any
@@ -52,6 +66,13 @@ cover-check:
 	if [ -z "$$cov" ]; then echo "cover-check: no coverage reported for internal/check"; exit 1; fi; \
 	echo "internal/check coverage: $$cov% (floor $(CHECK_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$cov >= $(CHECK_COVER_FLOOR))}" || { echo "cover-check: coverage $$cov% below $(CHECK_COVER_FLOOR)% floor"; exit 1; }
+
+# Coverage floor for the run supervisor.
+resilience-cover-check:
+	@cov=$$($(GO) test -cover ./internal/resilience | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "resilience-cover-check: no coverage reported for internal/resilience"; exit 1; fi; \
+	echo "internal/resilience coverage: $$cov% (floor $(RESILIENCE_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(RESILIENCE_COVER_FLOOR))}" || { echo "resilience-cover-check: coverage $$cov% below $(RESILIENCE_COVER_FLOOR)% floor"; exit 1; }
 
 # Benchmark baselines: run the tbr and cluster suites, keep the raw
 # benchstat-format text, and convert to JSON with cmd/benchjson. The
@@ -87,3 +108,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGeneratedProgramExec$$' -fuzztime 5s ./internal/shader
 	$(GO) test -run '^$$' -fuzz '^FuzzValidateArbitraryPrograms$$' -fuzztime 5s ./internal/shader
 	$(GO) test -run '^$$' -fuzz '^FuzzSearch$$' -fuzztime 5s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 5s ./internal/resilience

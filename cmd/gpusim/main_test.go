@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -75,7 +76,7 @@ func TestRunWritesObsOutputs(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 	trace := filepath.Join(dir, "trace.json")
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:2",
 		"-tile-workers", "2",
 		"-metrics-out", metrics, "-trace-out", trace,
@@ -98,7 +99,7 @@ func TestRunFlushesObsOnError(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "metrics.json")
 	trace := filepath.Join(dir, "trace.json")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-benchmark", "hcr", "-frame-div", "100",
 		"-tile-workers", "-1",
 		"-metrics-out", metrics, "-trace-out", trace,
@@ -119,7 +120,7 @@ func TestRunFlushesObsOnError(t *testing.T) {
 func TestRunCleansUpFailedObsWrite(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "no-such-subdir", "metrics.json")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:1",
 		"-metrics-out", metrics,
 	}, io.Discard)
@@ -132,5 +133,137 @@ func TestRunCleansUpFailedObsWrite(t *testing.T) {
 	}
 	for _, e := range entries {
 		t.Fatalf("leftover file after failed flush: %s", e.Name())
+	}
+}
+
+// statLines extracts the deterministic statistics lines from a summary
+// (drops the "workload:" header, whose elapsed time varies run to run,
+// and the resume accounting line).
+func statLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "workload:") || strings.HasPrefix(line, "resumed:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestRunCheckpointResumeByteIdentical is the CLI half of the headline
+// guarantee: a partial checkpointed run, resumed over a wider frame
+// range, produces byte-identical per-frame CSV and summary statistics
+// to an uninterrupted run — with the adopted frames reported.
+func TestRunCheckpointResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-benchmark", "hcr", "-frame-div", "100"}
+
+	// Uninterrupted reference over frames 0:4.
+	refCSV := filepath.Join(dir, "ref.csv")
+	var refOut strings.Builder
+	args := append(append([]string{}, base...),
+		"-frames", "0:4", "-csv", refCSV, "-checkpoint", filepath.Join(dir, "ref.ckpt"))
+	if err := run(context.Background(), args, &refOut); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, refOut.String())
+	}
+
+	// "Interrupted" run: only the first two frames, checkpointed.
+	ckpt := filepath.Join(dir, "run.ckpt")
+	args = append(append([]string{}, base...), "-frames", "0:2", "-checkpoint", ckpt)
+	if err := run(context.Background(), args, io.Discard); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+
+	// Resume over the full range: frames 0 and 1 come from the
+	// checkpoint, 2 and 3 are simulated, results are identical.
+	resCSV := filepath.Join(dir, "res.csv")
+	var resOut strings.Builder
+	args = append(append([]string{}, base...),
+		"-frames", "0:4", "-csv", resCSV, "-checkpoint", ckpt, "-resume", "-workers", "2")
+	if err := run(context.Background(), args, &resOut); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, resOut.String())
+	}
+	if !strings.Contains(resOut.String(), "resumed:           2 frames") {
+		t.Fatalf("resume accounting missing:\n%s", resOut.String())
+	}
+
+	ref, err := os.ReadFile(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := os.ReadFile(resCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(res) {
+		t.Fatalf("per-frame CSV differs between resumed and uninterrupted runs:\n%s\nvs\n%s", res, ref)
+	}
+	if statLines(refOut.String()) != statLines(resOut.String()) {
+		t.Fatalf("summaries differ:\n%s\nvs\n%s", resOut.String(), refOut.String())
+	}
+}
+
+// TestRunCorruptCheckpointFallsBack: garbage in the checkpoint file must
+// be reported, never trusted — the run warns, starts fresh, succeeds,
+// and repairs the file.
+func TestRunCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if err := os.WriteFile(ckpt, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:2",
+		"-checkpoint", ckpt, "-resume",
+	}, &out)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint aborted the run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "WARNING: resume failed") {
+		t.Fatalf("corruption not reported:\n%s", out.String())
+	}
+
+	// The file was rewritten; a second resume must now adopt cleanly.
+	var out2 strings.Builder
+	err = run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "100", "-frames", "0:2",
+		"-checkpoint", ckpt, "-resume",
+	}, &out2)
+	if err != nil {
+		t.Fatalf("resume from repaired checkpoint: %v", err)
+	}
+	if !strings.Contains(out2.String(), "resumed:           2 frames") {
+		t.Fatalf("repaired checkpoint not adopted:\n%s", out2.String())
+	}
+}
+
+// TestRunTimeoutIsResumable: a deadline that fires before the first
+// frame completes must fail with a resume hint, and the serial loop
+// (no -checkpoint) must point at -checkpoint instead.
+func TestRunTimeoutIsResumable(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	err := run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "100",
+		"-checkpoint", ckpt, "-run-timeout", "1ns",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("supervised timeout error has no resume hint: %v", err)
+	}
+
+	err = run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "100", "-run-timeout", "1ns",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("serial timeout error has no checkpoint hint: %v", err)
+	}
+}
+
+func TestSupervisedFlagsRequireCheckpoint(t *testing.T) {
+	if err := run(context.Background(), []string{"-benchmark", "hcr", "-resume"}, io.Discard); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+	if err := run(context.Background(), []string{"-benchmark", "hcr", "-retries", "5"}, io.Discard); err == nil {
+		t.Fatal("-retries without -checkpoint accepted")
 	}
 }

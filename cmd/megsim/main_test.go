@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func TestValidateWithinBandAcrossSeeds(t *testing.T) {
 		if seed == 2 {
 			args = append(args, "-tile-workers", "2")
 		}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatalf("seed %d: %v\noutput:\n%s", seed, err, buf.String())
 		}
 		out := buf.String()
@@ -61,7 +62,7 @@ func TestValidateWithinBandAcrossSeeds(t *testing.T) {
 
 func TestValidateJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-json"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-json"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var out struct {
@@ -82,7 +83,7 @@ func TestValidateGateFailsOnImpossibleBand(t *testing.T) {
 	// A tolerance scale of 0 makes every band 0%: the gate must fail
 	// with a non-zero exit (an error from run).
 	var buf bytes.Buffer
-	err := run([]string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-tol", "0"}, &buf)
+	err := run(context.Background(), []string{"-benchmark", "hcr", "-frame-div", "40", "-validate", "-tol", "0"}, &buf)
 	if err == nil {
 		t.Fatalf("run passed with zero-width tolerance bands:\n%s", buf.String())
 	}
@@ -93,10 +94,142 @@ func TestValidateGateFailsOnImpossibleBand(t *testing.T) {
 
 func TestTraceAndBenchmarkAreExclusive(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-trace", "x.trace", "-benchmark", "hcr"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-trace", "x.trace", "-benchmark", "hcr"}, &buf); err == nil {
 		t.Fatal("accepted both -trace and -benchmark")
 	}
-	if err := run([]string{}, &buf); err == nil {
+	if err := run(context.Background(), []string{}, &buf); err == nil {
 		t.Fatal("accepted neither -trace nor -benchmark")
+	}
+}
+
+// sampleJSON runs megsim -json with extra args and parses the summary.
+type sampleSummary struct {
+	Representatives []int  `json:"representatives"`
+	Cycles          uint64 `json:"estimated_cycles"`
+	DRAM            uint64 `json:"estimated_dram_accesses"`
+	L2              uint64 `json:"estimated_l2_accesses"`
+	Tile            uint64 `json:"estimated_tile_cache_accesses"`
+	Resilience      *struct {
+		Degraded      bool  `json:"degraded"`
+		Resumed       []int `json:"resumed_frames"`
+		Substitutions []struct {
+			Cluster    int `json:"cluster"`
+			Original   int `json:"original"`
+			Substitute int `json:"substitute"`
+		} `json:"substitutions"`
+		ResumeError string `json:"resume_error"`
+	} `json:"resilience"`
+}
+
+func sampleJSON(t *testing.T, extra ...string) sampleSummary {
+	t.Helper()
+	var buf bytes.Buffer
+	args := append([]string{"-benchmark", "hcr", "-frame-div", "40", "-json"}, extra...)
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("run %v: %v\n%s", extra, err, buf.String())
+	}
+	var out sampleSummary
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+// TestResumeProducesIdenticalEstimates: a checkpointed run, resumed,
+// must adopt every representative from the checkpoint and report the
+// exact same estimates — and a corrupted checkpoint must fall back to a
+// fresh (still identical) run with the failure reported, never trusted.
+func TestResumeProducesIdenticalEstimates(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+
+	fresh := sampleJSON(t, "-checkpoint", ckpt)
+	if fresh.Resilience == nil {
+		t.Fatal("resilience block missing from JSON output")
+	}
+	if len(fresh.Resilience.Resumed) != 0 {
+		t.Fatalf("fresh run resumed frames: %v", fresh.Resilience.Resumed)
+	}
+
+	resumed := sampleJSON(t, "-checkpoint", ckpt, "-resume")
+	if resumed.Resilience == nil || len(resumed.Resilience.Resumed) == 0 {
+		t.Fatalf("resume adopted nothing: %+v", resumed.Resilience)
+	}
+	if resumed.Cycles != fresh.Cycles || resumed.DRAM != fresh.DRAM ||
+		resumed.L2 != fresh.L2 || resumed.Tile != fresh.Tile {
+		t.Fatalf("resumed estimates differ:\nfresh   %+v\nresumed %+v", fresh, resumed)
+	}
+
+	// Corrupt the checkpoint: the run must warn, start fresh, and still
+	// land on the same estimates.
+	if err := os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repaired := sampleJSON(t, "-checkpoint", ckpt, "-resume")
+	if repaired.Resilience == nil || repaired.Resilience.ResumeError == "" {
+		t.Fatalf("corrupt checkpoint not reported: %+v", repaired.Resilience)
+	}
+	if len(repaired.Resilience.Resumed) != 0 {
+		t.Fatalf("corrupt checkpoint partially trusted: %+v", repaired.Resilience)
+	}
+	if repaired.Cycles != fresh.Cycles {
+		t.Fatalf("post-corruption run cycles = %d, want %d", repaired.Cycles, fresh.Cycles)
+	}
+}
+
+// TestQuarantineDegradesLoudly: pre-quarantining a representative must
+// substitute the next-closest in-cluster frame, mark the run degraded in
+// both output formats, and widen the -validate bands 3x — degradation is
+// reported, never silent, and never gated against healthy-run bands.
+func TestQuarantineDegradesLoudly(t *testing.T) {
+	healthy := sampleJSON(t)
+	if len(healthy.Representatives) == 0 {
+		t.Fatal("no representatives")
+	}
+	rep := strconv.Itoa(healthy.Representatives[0])
+
+	degraded := sampleJSON(t, "-quarantine", rep)
+	if degraded.Resilience == nil || !degraded.Resilience.Degraded {
+		t.Fatalf("quarantined representative not reported as degraded: %+v", degraded.Resilience)
+	}
+	if len(degraded.Resilience.Substitutions) == 0 {
+		t.Fatalf("no substitution recorded: %+v", degraded.Resilience)
+	}
+	s := degraded.Resilience.Substitutions[0]
+	if s.Original != healthy.Representatives[0] || s.Substitute == s.Original {
+		t.Fatalf("substitution %+v for quarantined rep %s", s, rep)
+	}
+
+	// Text mode: the degradation block and the widened-validation note.
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "40",
+		"-quarantine", rep, "-validate", "-tol", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("degraded validate run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"DEGRADED:", "substitute: cluster", "validation bands widened 3x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTimeoutIsResumable: a run killed by -run-timeout before any
+// frame completes must fail with a resume hint and leave a loadable
+// checkpoint behind.
+func TestRunTimeoutIsResumable(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-benchmark", "hcr", "-frame-div", "40",
+		"-checkpoint", ckpt, "-run-timeout", "1ns",
+	}, &buf)
+	if err == nil {
+		t.Fatal("1ns -run-timeout completed")
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("timeout error has no resume hint: %v", err)
 	}
 }

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,6 +22,10 @@ import (
 
 // Options configures a study.
 type Options struct {
+	// Ctx, when non-nil, bounds the study: cancellation (or deadline
+	// expiry) stops the simulation passes at the next frame boundary
+	// and surfaces the context's error. Nil means context.Background().
+	Ctx context.Context
 	// GPU is the timing-simulator configuration (Table I defaults).
 	GPU tbr.Config
 	// MEGsim is the methodology configuration.
@@ -45,6 +50,14 @@ type Options struct {
 	// GPU.Obs and MEGsim.Search.Obs (without overriding registries the
 	// caller set there explicitly).
 	Obs *obs.Registry
+}
+
+// ctx returns the study context (Background when unset).
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // wireObs propagates opts.Obs and opts.TileWorkers into the phase
@@ -114,6 +127,9 @@ type BenchmarkResult struct {
 // truth, representative-only simulation, and accuracy evaluation.
 func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 	opts.wireObs()
+	if err := opts.ctx().Err(); err != nil {
+		return nil, err
+	}
 	res := &BenchmarkResult{Profile: p}
 	logf(opts.Log, "[%s] generating trace", p.Alias)
 	tr, err := workload.Generate(p, opts.Scale)
@@ -144,7 +160,7 @@ func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 	if opts.GPU.FlushCachesPerFrame {
 		// Frame isolation makes parallel simulation bit-identical to
 		// the sequential pass, so the ground truth uses all cores.
-		res.Full, err = tbr.SimulateAllParallel(opts.GPU, tr, opts.Workers, nil)
+		res.Full, err = tbr.SimulateAllParallelCtx(opts.ctx(), opts.GPU, tr, opts.Workers, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -184,6 +200,9 @@ func Run(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 // unset.
 func RunSampledOnly(p workload.Profile, opts Options) (*BenchmarkResult, error) {
 	opts.wireObs()
+	if err := opts.ctx().Err(); err != nil {
+		return nil, err
+	}
 	res := &BenchmarkResult{Profile: p}
 	tr, err := workload.Generate(p, opts.Scale)
 	if err != nil {
@@ -222,7 +241,7 @@ func RunSampledOnly(p workload.Profile, opts Options) (*BenchmarkResult, error) 
 func simulateReps(opts Options, tr *gltrace.Trace, reps []int) (map[int]tbr.FrameStats, error) {
 	repStats := make(map[int]tbr.FrameStats, len(reps))
 	if opts.GPU.FlushCachesPerFrame {
-		stats, err := tbr.SimulateFramesParallel(opts.GPU, tr, reps, opts.Workers)
+		stats, err := tbr.SimulateFramesParallelCtx(opts.ctx(), opts.GPU, tr, reps, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +255,9 @@ func simulateReps(opts Options, tr *gltrace.Trace, reps []int) (map[int]tbr.Fram
 		return nil, err
 	}
 	for _, f := range reps {
+		if err := opts.ctx().Err(); err != nil {
+			return nil, err
+		}
 		repStats[f] = sim.SimulateFrame(f)
 	}
 	return repStats, nil

@@ -292,6 +292,63 @@ func (r *Registry) Merge(o *Registry) {
 	r.mu.Unlock()
 }
 
+// MergeSnapshot folds a plain-data snapshot back into the registry:
+// counter values add, histogram summaries combine bucket-wise, and
+// timeline events append in the snapshot's canonical order. It is the
+// inverse direction of Snapshot and is equivalent to merging the
+// registry the snapshot was taken from: checkpoint/resume restores
+// persisted per-frame observability deltas through this, and because
+// counters and histograms are additive and Snapshot sorts events
+// canonically, replaying deltas in any order reproduces the
+// uninterrupted registry byte-for-byte. Zero-valued counters merge too,
+// preserving the metric namespace. Safe when either side is nil.
+func (r *Registry) MergeSnapshot(s *Snapshot) {
+	if !r.Enabled() || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name).mergeSnapshot(hs)
+	}
+	r.mu.Lock()
+	for i := range s.Events {
+		r.trace.push(s.Events[i])
+	}
+	r.trace.dropped += s.DroppedEvents
+	r.mu.Unlock()
+}
+
+// mergeSnapshot adds a plain-data histogram summary into h.
+func (h *Histogram) mergeSnapshot(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	for i, n := range s.Buckets {
+		if i >= 0 && i < histBuckets {
+			h.buckets[i].Add(n)
+		}
+	}
+	if s.Count == 0 {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.min.Load()
+		if ^cur <= s.Min || h.min.CompareAndSwap(cur, ^s.Min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= s.Max || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
 // Snapshot copies the registry into plain, JSON-serializable data.
 // Timeline events are sorted into a canonical order (timestamp, tid,
 // name) so snapshots from differently-partitioned parallel runs compare

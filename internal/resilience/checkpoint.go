@@ -1,0 +1,174 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/tbr"
+)
+
+// checkpointMagic and checkpointVersion gate the decoder: files written
+// by other tools or by an incompatible future format are rejected
+// before any field is trusted.
+const (
+	checkpointMagic   = "megsim-checkpoint"
+	checkpointVersion = 1
+)
+
+// ErrCorrupt marks a checkpoint file that failed structural validation:
+// empty, truncated, unparseable, wrong magic/version, or a CRC
+// mismatch. Callers fall back to a fresh run — the file's contents are
+// never partially trusted.
+var ErrCorrupt = errors.New("resilience: corrupt checkpoint")
+
+// ErrFingerprint marks a structurally valid checkpoint recorded under a
+// different run configuration; resuming from it would mix incompatible
+// statistics.
+var ErrFingerprint = errors.New("resilience: checkpoint fingerprint mismatch")
+
+// FrameRecord is one completed frame inside a checkpoint: its
+// statistics, its per-frame observability delta (nil when the run had
+// observability disabled), and how many attempts it took.
+type FrameRecord struct {
+	Frame    int            `json:"frame"`
+	Attempts int            `json:"attempts"`
+	Stats    tbr.FrameStats `json:"stats"`
+	Obs      *obs.Snapshot  `json:"obs,omitempty"`
+}
+
+// Checkpoint is the persisted progress of a supervised run. Frames are
+// kept sorted by frame index so the encoding is canonical: two runs
+// with the same completed set write byte-identical files regardless of
+// completion order.
+type Checkpoint struct {
+	// Fingerprint identifies the run configuration the progress
+	// belongs to (see Config.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Frames are the completed frames, ascending by index.
+	Frames []FrameRecord `json:"frames"`
+	// Quarantined are the frames given up on, ascending by frame.
+	Quarantined []QuarantineRecord `json:"quarantined,omitempty"`
+}
+
+// checkpointFile is the on-disk envelope: the payload bytes are
+// checksummed so truncation and bit rot are detected before the payload
+// is decoded.
+type checkpointFile struct {
+	Magic   string          `json:"magic"`
+	Version int             `json:"version"`
+	CRC32   uint32          `json:"crc32"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// sortFrames enforces the canonical ordering.
+func (c *Checkpoint) sortFrames() {
+	sort.Slice(c.Frames, func(i, j int) bool { return c.Frames[i].Frame < c.Frames[j].Frame })
+	sort.Slice(c.Quarantined, func(i, j int) bool { return c.Quarantined[i].Frame < c.Quarantined[j].Frame })
+}
+
+// EncodeCheckpoint serializes a checkpoint into the checksummed
+// envelope format.
+func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	c.sortFrames()
+	body, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(checkpointFile{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		CRC32:   crc32.ChecksumIEEE(body),
+		Body:    body,
+	}, "", " ")
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes. Anything
+// structurally wrong — empty input, truncated JSON, wrong magic or
+// version, checksum mismatch, malformed payload — returns an error
+// wrapping ErrCorrupt with the specific cause.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty file", ErrCorrupt)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if f.Magic != checkpointMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrCorrupt, f.Magic)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, f.Version, checkpointVersion)
+	}
+	// The envelope is written indented, which re-indents the embedded
+	// body, so the checksum is taken over the compacted bytes — the
+	// exact form it was computed over at encode time.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, f.Body); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != f.CRC32 {
+		return nil, fmt.Errorf("%w: crc32 %08x != %08x", ErrCorrupt, got, f.CRC32)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(f.Body, &c); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	}
+	for i, fr := range c.Frames {
+		if fr.Frame < 0 {
+			return nil, fmt.Errorf("%w: negative frame index %d", ErrCorrupt, fr.Frame)
+		}
+		if i > 0 && c.Frames[i-1].Frame >= fr.Frame {
+			return nil, fmt.Errorf("%w: frames not strictly ascending at %d", ErrCorrupt, fr.Frame)
+		}
+	}
+	return &c, nil
+}
+
+// SaveCheckpoint atomically persists a checkpoint: the encoding is
+// written to a temporary sibling and renamed into place, so a reader
+// (or a resumed run after a crash mid-write) never observes a partial
+// file — it sees either the previous complete snapshot or the new one.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	data, err := EncodeCheckpoint(c)
+	if err != nil {
+		return fmt.Errorf("resilience: encode checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("resilience: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file against the
+// expected fingerprint. A missing file is (nil, nil) — nothing to
+// resume; damage returns ErrCorrupt, a configuration mismatch
+// ErrFingerprint.
+func LoadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	if c.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: checkpoint %q vs run %q", ErrFingerprint, c.Fingerprint, fingerprint)
+	}
+	return c, nil
+}

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/tbr"
+	"repro/internal/xmath/linalg"
+)
+
+// Substitution records one degraded cluster: its quarantined
+// representative and the stand-in that replaced it.
+type Substitution struct {
+	// Cluster is the cluster whose representative was quarantined.
+	Cluster int `json:"cluster"`
+	// Original is the quarantined representative frame.
+	Original int `json:"original"`
+	// Substitute is the next-closest in-cluster frame standing in, or
+	// -1 when every member of the cluster is quarantined (the cluster
+	// is lost and its weight is redistributed).
+	Substitute int `json:"substitute"`
+	// OriginalDist and SubstituteDist are the squared feature-space
+	// distances to the cluster centroid — how much representativeness
+	// the substitution gave up.
+	OriginalDist   float64 `json:"original_dist"`
+	SubstituteDist float64 `json:"substitute_dist"`
+}
+
+// DegradedSelection is a Selection adjusted for quarantined frames: per
+// cluster either the original representative, a substitute, or -1 for
+// a lost cluster. Estimation rescales the surviving clusters' weights
+// so the extrapolation still targets the full sequence — degraded
+// accuracy, reported loudly, instead of a dead run.
+type DegradedSelection struct {
+	// Selection is the original clustering, untouched.
+	Selection *core.Selection
+	// Representatives[c] is cluster c's effective representative (-1 =
+	// lost).
+	Representatives []int `json:"representatives"`
+	// Substitutions lists every cluster that runs on a stand-in,
+	// ascending by cluster.
+	Substitutions []Substitution `json:"substitutions,omitempty"`
+	// LostClusters lists clusters with no usable member, ascending.
+	LostClusters []int `json:"lost_clusters,omitempty"`
+	// CoveredFrames is the number of sequence frames whose cluster
+	// still has a representative.
+	CoveredFrames int `json:"covered_frames"`
+}
+
+// Degraded reports whether any substitution or loss occurred.
+func (d *DegradedSelection) Degraded() bool {
+	return len(d.Substitutions) > 0 || len(d.LostClusters) > 0
+}
+
+// Coverage returns the fraction of sequence frames still represented
+// (1.0 when nothing was lost; substitutions do not reduce coverage).
+func (d *DegradedSelection) Coverage() float64 {
+	n := d.Selection.NumFrames()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.CoveredFrames) / float64(n)
+}
+
+// ActiveRepresentatives returns the frames that must be simulated
+// (every non-lost cluster's effective representative).
+func (d *DegradedSelection) ActiveRepresentatives() []int {
+	out := make([]int, 0, len(d.Representatives))
+	for _, r := range d.Representatives {
+		if r >= 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Degrade adjusts a selection for a set of quarantined frames. For each
+// cluster whose representative is quarantined it promotes the
+// next-closest in-cluster frame (by squared distance to the centroid,
+// frame index breaking ties for determinism); a cluster with no
+// non-quarantined member is lost and its weight will be redistributed
+// by Estimate. With no quarantined representatives the result is the
+// selection unchanged (zero substitutions).
+func Degrade(sel *core.Selection, quarantined map[int]bool) *DegradedSelection {
+	d := &DegradedSelection{
+		Selection:       sel,
+		Representatives: make([]int, len(sel.Representatives)),
+	}
+	for c, rep := range sel.Representatives {
+		if !quarantined[rep] {
+			d.Representatives[c] = rep
+			d.CoveredFrames += sel.Clusters.Sizes[c]
+			continue
+		}
+		sub, subDist := closestSurvivor(sel, c, quarantined)
+		d.Representatives[c] = sub
+		d.Substitutions = append(d.Substitutions, Substitution{
+			Cluster:        c,
+			Original:       rep,
+			Substitute:     sub,
+			OriginalDist:   linalg.SquaredDistance(sel.Features.Vectors[rep], sel.Clusters.Centroids[c]),
+			SubstituteDist: subDist,
+		})
+		if sub < 0 {
+			d.LostClusters = append(d.LostClusters, c)
+		} else {
+			d.CoveredFrames += sel.Clusters.Sizes[c]
+		}
+	}
+	return d
+}
+
+// closestSurvivor returns the non-quarantined member of cluster c
+// closest to its centroid (ties break on the lower frame index), or
+// (-1, NaN) when none survives.
+func closestSurvivor(sel *core.Selection, c int, quarantined map[int]bool) (int, float64) {
+	best, bestDist := -1, math.Inf(1)
+	for f, cl := range sel.Clusters.Assign {
+		if cl != c || quarantined[f] {
+			continue
+		}
+		if dist := linalg.SquaredDistance(sel.Features.Vectors[f], sel.Clusters.Centroids[c]); dist < bestDist {
+			best, bestDist = f, dist
+		}
+	}
+	if best < 0 {
+		return -1, math.NaN()
+	}
+	return best, bestDist
+}
+
+// Estimate extrapolates full-sequence statistics from the degraded
+// representative set: surviving clusters scale by their exact sizes
+// (identical to core.Selection.Estimate when nothing degraded), and
+// when clusters were lost the partial total is rescaled by
+// NumFrames/CoveredFrames so the estimate still targets the whole
+// sequence — the lost clusters' share is assumed to behave like the
+// surviving mix, which is exactly the accuracy loss the degraded
+// status reports.
+func (d *DegradedSelection) Estimate(repStats map[int]tbr.FrameStats) (tbr.FrameStats, error) {
+	if d.CoveredFrames == 0 {
+		return tbr.FrameStats{}, fmt.Errorf("resilience: every cluster lost to quarantine; no estimate possible")
+	}
+	var total tbr.FrameStats
+	for c, rep := range d.Representatives {
+		if rep < 0 {
+			continue
+		}
+		st, ok := repStats[rep]
+		if !ok {
+			return tbr.FrameStats{}, fmt.Errorf("resilience: missing simulated stats for representative frame %d (cluster %d)", rep, c)
+		}
+		scaled := st.Scale(uint64(d.Selection.Clusters.Sizes[c]))
+		total.Add(&scaled)
+	}
+	if n := d.Selection.NumFrames(); d.CoveredFrames < n {
+		total = total.ScaleF(float64(n) / float64(d.CoveredFrames))
+	}
+	total.Frame = -1
+	return total, nil
+}

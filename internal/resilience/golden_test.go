@@ -1,0 +1,152 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tbr"
+	"repro/internal/workload"
+)
+
+// TestGoldenKillAndResume is the headline guarantee: a supervised run
+// killed at a frame boundary and resumed from its checkpoint produces
+// byte-identical frame statistics, a byte-identical final checkpoint
+// file, and an identical merged observability snapshot to an
+// uninterrupted run — at tile-workers 1, 2 and 4, under injected
+// microarchitectural faults (tbr.FaultConfig stalls and dropped tiles)
+// and deterministic first-attempt panics, with the kill point and the
+// supervisor worker count varied between the killed and resumed halves.
+func TestGoldenKillAndResume(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["bbr1"], workload.TestScale)
+	frames := make([]int, 0, 12)
+	for f := 0; f < tr.NumFrames() && f < 12; f++ {
+		frames = append(frames, f)
+	}
+	if len(frames) < 6 {
+		t.Fatalf("trace too short for the golden test: %d frames", len(frames))
+	}
+
+	// Deterministic fault injection: stalled shader cores and dropped
+	// tiles, keyed by (seed, frame, tile) — identical however the frames
+	// are scheduled.
+	baseGPU := tbr.DefaultConfig()
+	baseGPU.Faults = tbr.FaultConfig{Seed: 7, StallRate: 0.05, StallCycles: 64, DropTileRate: 0.02}
+
+	// mkFn simulates one frame on its own simulator instance, recording
+	// into the supervisor's per-frame registry. When flaky, every frame
+	// congruent to 1 mod 4 panics on its first attempt — retried runs
+	// must still be byte-identical.
+	mkFn := func(gpu tbr.Config, flaky *attemptTracker) FrameFunc {
+		return func(ctx context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
+			if flaky != nil && frame%4 == 1 && flaky.next(frame) == 1 {
+				panic("injected first-attempt panic")
+			}
+			g := gpu
+			g.Obs = reg
+			sim, err := tbr.New(g, tr)
+			if err != nil {
+				return tbr.FrameStats{}, err
+			}
+			return sim.SimulateFrame(frame), nil
+		}
+	}
+
+	type golden struct {
+		stats map[int]tbr.FrameStats
+		snap  *obs.Snapshot
+	}
+	var crossTW *golden
+
+	for i, tw := range []int{1, 2, 4} {
+		gpu := baseGPU
+		gpu.TileWorkers = tw
+		dir := t.TempDir()
+		fp := "golden-fp"
+
+		// Uninterrupted reference run.
+		refPath := filepath.Join(dir, "ref.ckpt")
+		refObs := obs.New()
+		refCfg := noBackoff(Config{Workers: 2, Obs: refObs, CheckpointPath: refPath, Fingerprint: fp, Seed: 1})
+		refRes, err := Run(context.Background(), frames, mkFn(gpu, newAttemptTracker()), refCfg)
+		if err != nil {
+			t.Fatalf("tw=%d: reference run: %v", tw, err)
+		}
+		if len(refRes.Stats) != len(frames) {
+			t.Fatalf("tw=%d: reference incomplete: %d frames", tw, len(refRes.Stats))
+		}
+		refSnap := refObs.Snapshot()
+		refBytes, err := os.ReadFile(refPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Killed run: cancel after a tile-worker-dependent number of
+		// completed frames — a different "random" kill boundary per
+		// configuration.
+		killAfter := int64(3 + 2*i)
+		killPath := filepath.Join(dir, "killed.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		var completions atomic.Int64
+		killObs := obs.New()
+		killCfg := noBackoff(Config{Workers: 2, Obs: killObs, CheckpointPath: killPath, Fingerprint: fp, Seed: 1})
+		inner := mkFn(gpu, newAttemptTracker())
+		_, err = Run(ctx, frames, func(c context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
+			st, err := inner(c, frame, reg)
+			if err == nil && completions.Add(1) >= killAfter {
+				cancel()
+			}
+			return st, err
+		}, killCfg)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("tw=%d: killed run: err = %v, want context.Canceled", tw, err)
+		}
+
+		// Resume under a different supervisor worker count.
+		resObs := obs.New()
+		resCfg := noBackoff(Config{Workers: 3, Obs: resObs, CheckpointPath: killPath, Fingerprint: fp, Seed: 1, Resume: true})
+		resRes, err := Run(context.Background(), frames, mkFn(gpu, newAttemptTracker()), resCfg)
+		if err != nil {
+			t.Fatalf("tw=%d: resumed run: %v", tw, err)
+		}
+		if resRes.ResumeErr != nil {
+			t.Fatalf("tw=%d: resumed run: ResumeErr = %v", tw, resRes.ResumeErr)
+		}
+		if len(resRes.Resumed) == 0 {
+			t.Fatalf("tw=%d: resume adopted nothing (kill landed after completion?)", tw)
+		}
+
+		if !reflect.DeepEqual(resRes.Stats, refRes.Stats) {
+			t.Fatalf("tw=%d: resumed stats differ from uninterrupted run", tw)
+		}
+		if snap := resObs.Snapshot(); !reflect.DeepEqual(snap, refSnap) {
+			t.Fatalf("tw=%d: resumed obs snapshot differs from uninterrupted run", tw)
+		}
+		resBytes, err := os.ReadFile(killPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resBytes) != string(refBytes) {
+			t.Fatalf("tw=%d: final checkpoint bytes differ between killed+resumed and uninterrupted runs", tw)
+		}
+
+		// Worker invariance across the raster-stage shard counts: every
+		// tile-worker configuration produces the same statistics and obs.
+		if crossTW == nil {
+			crossTW = &golden{stats: refRes.Stats, snap: refSnap}
+		} else {
+			if !reflect.DeepEqual(refRes.Stats, crossTW.stats) {
+				t.Fatalf("tw=%d: stats differ from tile-workers=1", tw)
+			}
+			if !reflect.DeepEqual(refSnap, crossTW.snap) {
+				t.Fatalf("tw=%d: obs snapshot differs from tile-workers=1", tw)
+			}
+		}
+	}
+}

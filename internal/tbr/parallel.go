@@ -1,6 +1,7 @@
 package tbr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,8 +13,19 @@ import (
 
 // testWorkerHook, when non-nil, is called by pool workers before each
 // claimed item. Test-only: it lets tests inject failures mid-run to
-// exercise the abort path.
-var testWorkerHook func(item int)
+// exercise the abort path. It is an atomic pointer because pool worker
+// goroutines read it while tests in other packages' test binaries may
+// install or clear it around pools that are still draining.
+var testWorkerHook atomic.Pointer[func(item int)]
+
+// setTestWorkerHook installs (or, with nil, clears) the worker hook.
+func setTestWorkerHook(h func(item int)) {
+	if h == nil {
+		testWorkerHook.Store(nil)
+		return
+	}
+	testWorkerHook.Store(&h)
+}
 
 // claimPool is the work-distribution core shared by the frame-parallel
 // driver and the tile-parallel raster stage: `workers` goroutines claim
@@ -21,10 +33,27 @@ var testWorkerHook func(item int)
 // built by setup(w). A failed worker (setup error, or a panic out of fn
 // converted to an error) raises an abort flag every worker checks in
 // its claim loop, so the pool stops promptly instead of draining the
-// remaining items. The returned failed slice marks which workers did
-// not finish cleanly — their side effects (e.g. a local obs registry)
-// may be torn mid-item and must not be merged.
-func claimPool(workers, n int, setup func(w int) (fn func(i int), err error)) (failed []bool, firstErr error) {
+// remaining items; cancelling ctx raises the same flag (with ctx.Err()
+// as the pool error), so cancellation is honored at the next claim —
+// never mid-item. The returned failed slice marks which workers did not
+// finish cleanly — their side effects (e.g. a local obs registry) may
+// be torn mid-item and must not be merged. A worker stopped by
+// cancellation is NOT marked failed: it completed its last item before
+// observing the flag.
+//
+// workers <= 0 defaults to GOMAXPROCS (clamped to n); n <= 0 runs
+// nothing and returns only ctx's current error, so degenerate pools
+// cannot spin up goroutines or index out of range.
+func claimPool(ctx context.Context, workers, n int, setup func(w int) (fn func(i int), err error)) (failed []bool, firstErr error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
 	failed = make([]bool, workers)
 	var (
 		next    atomic.Int64
@@ -32,6 +61,7 @@ func claimPool(workers, n int, setup func(w int) (fn func(i int), err error)) (f
 		errOnce sync.Once
 		wg      sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -52,12 +82,24 @@ func claimPool(workers, n int, setup func(w int) (fn func(i int), err error)) (f
 				return
 			}
 			for !abort.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						// Cancellation is clean: no item is torn, so the
+						// worker is not marked failed, but the pool must
+						// report why it stopped short.
+						errOnce.Do(func() { firstErr = ctx.Err() })
+						abort.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if h := testWorkerHook; h != nil {
-					h(i)
+				if h := testWorkerHook.Load(); h != nil {
+					(*h)(i)
 				}
 				fn(i)
 			}
@@ -79,10 +121,16 @@ func claimPool(workers, n int, setup func(w int) (fn func(i int), err error)) (f
 // local registry partially populated (e.g. a frame's counters without
 // its spans); merging it would let an aborted run report torn numbers,
 // so failed workers' registries are dropped.
-func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simulator, i int)) error {
+func runPool(ctx context.Context, cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simulator, i int)) error {
 	parent := cfg.Obs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	locals := make([]*obs.Registry, workers)
-	failed, firstErr := claimPool(workers, n, func(w int) (func(i int), error) {
+	failed, firstErr := claimPool(ctx, workers, n, func(w int) (func(i int), error) {
 		wcfg := cfg
 		if parent.Enabled() {
 			locals[w] = parent.NewLocal()
@@ -95,7 +143,7 @@ func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simu
 		return func(i int) { fn(sim, i) }, nil
 	})
 	for w, l := range locals {
-		if failed[w] {
+		if w < len(failed) && failed[w] {
 			continue
 		}
 		parent.Merge(l)
@@ -108,6 +156,14 @@ func runPool(cfg Config, trace *gltrace.Trace, workers, n int, fn func(sim *Simu
 // order as frames. Like SimulateAllParallel it requires frame isolation
 // (FlushCachesPerFrame).
 func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, workers int) ([]FrameStats, error) {
+	return SimulateFramesParallelCtx(context.Background(), cfg, trace, frames, workers)
+}
+
+// SimulateFramesParallelCtx is SimulateFramesParallel honoring a
+// context: cancellation (or deadline expiry) stops every worker at its
+// next claim and returns ctx's error. Results are all-or-nothing — a
+// cancelled run returns no stats, exactly like a failed one.
+func SimulateFramesParallelCtx(ctx context.Context, cfg Config, trace *gltrace.Trace, frames []int, workers int) ([]FrameStats, error) {
 	if !cfg.FlushCachesPerFrame {
 		return nil, fmt.Errorf("tbr: parallel simulation requires FlushCachesPerFrame (frame isolation)")
 	}
@@ -122,6 +178,9 @@ func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, work
 	if workers > len(frames) {
 		workers = len(frames)
 	}
+	if len(frames) == 0 {
+		return nil, ctx.Err()
+	}
 	out := make([]FrameStats, len(frames))
 	// A single worker skips the pool — unless a checker is attached, in
 	// which case the pool's recover is what converts a failed CheckFrame
@@ -132,11 +191,14 @@ func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, work
 			return nil, err
 		}
 		for i, f := range frames {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = sim.SimulateFrame(f)
 		}
 		return out, nil
 	}
-	err := runPool(cfg, trace, workers, len(frames), func(sim *Simulator, i int) {
+	err := runPool(ctx, cfg, trace, workers, len(frames), func(sim *Simulator, i int) {
 		out[i] = sim.SimulateFrame(frames[i])
 	})
 	if err != nil {
@@ -153,6 +215,13 @@ func SimulateFramesParallel(cfg Config, trace *gltrace.Trace, frames []int, work
 // non-nil, is called once per completed frame (from worker goroutines;
 // it must be safe for concurrent use).
 func SimulateAllParallel(cfg Config, trace *gltrace.Trace, workers int, progress func(frame int)) ([]FrameStats, error) {
+	return SimulateAllParallelCtx(context.Background(), cfg, trace, workers, progress)
+}
+
+// SimulateAllParallelCtx is SimulateAllParallel honoring a context:
+// cancellation stops every worker at its next frame claim and returns
+// ctx's error instead of stats.
+func SimulateAllParallelCtx(ctx context.Context, cfg Config, trace *gltrace.Trace, workers int, progress func(frame int)) ([]FrameStats, error) {
 	if !cfg.FlushCachesPerFrame {
 		return nil, fmt.Errorf("tbr: parallel simulation requires FlushCachesPerFrame (frame isolation)")
 	}
@@ -163,18 +232,31 @@ func SimulateAllParallel(cfg Config, trace *gltrace.Trace, workers int, progress
 	if workers > n {
 		workers = n
 	}
-	// See SimulateFramesParallel for why a checker disables the serial
-	// fast path.
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	// See SimulateFramesParallelCtx for why a checker disables the
+	// serial fast path.
 	if workers <= 1 && cfg.Check == nil {
 		sim, err := New(cfg, trace)
 		if err != nil {
 			return nil, err
 		}
-		return sim.SimulateAll(progress), nil
+		out := make([]FrameStats, 0, n)
+		for f := 0; f < n; f++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out = append(out, sim.SimulateFrame(f))
+			if progress != nil {
+				progress(f)
+			}
+		}
+		return out, nil
 	}
 
 	out := make([]FrameStats, n)
-	err := runPool(cfg, trace, workers, n, func(sim *Simulator, f int) {
+	err := runPool(ctx, cfg, trace, workers, n, func(sim *Simulator, f int) {
 		out[f] = sim.SimulateFrame(f)
 		if progress != nil {
 			progress(f)

@@ -1,7 +1,10 @@
 package tbr
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -21,12 +24,12 @@ func TestParallelAbortsPromptlyOnWorkerFailure(t *testing.T) {
 	frames := make([]int, n)
 
 	var claimed atomic.Int64
-	testWorkerHook = func(item int) {
+	setTestWorkerHook(func(item int) {
 		if claimed.Add(1) == 3 {
 			panic("injected failure")
 		}
-	}
-	defer func() { testWorkerHook = nil }()
+	})
+	defer setTestWorkerHook(nil)
 
 	_, err := SimulateFramesParallel(DefaultConfig(), tr, frames, 4)
 	if err == nil {
@@ -54,7 +57,7 @@ func TestRunPoolSkipsFailedWorkerRegistries(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Obs = parent
 
-	err := runPool(cfg, tr, 4, 64, func(sim *Simulator, i int) {
+	err := runPool(context.Background(), cfg, tr, 4, 64, func(sim *Simulator, i int) {
 		if i == 5 {
 			// Simulate a worker dying mid-item: partial data has
 			// already landed in its worker-local registry (sim.obs is
@@ -97,8 +100,8 @@ func TestParallelFirstErrorWins(t *testing.T) {
 		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
 
 	frames := make([]int, 16)
-	testWorkerHook = func(item int) { panic("boom") }
-	defer func() { testWorkerHook = nil }()
+	setTestWorkerHook(func(item int) { panic("boom") })
+	defer setTestWorkerHook(nil)
 
 	out, err := SimulateFramesParallel(DefaultConfig(), tr, frames, 4)
 	if err == nil {
@@ -106,5 +109,118 @@ func TestParallelFirstErrorWins(t *testing.T) {
 	}
 	if out != nil {
 		t.Fatalf("got partial results alongside the error: %d frames", len(out))
+	}
+}
+
+// TestClaimPoolSimultaneousFailures releases every worker into a panic
+// at the same instant and checks the pool reports exactly one coherent
+// first error while marking every worker failed — the contract the obs
+// merge (skip failed workers) and runPool's all-or-nothing result
+// depend on.
+func TestClaimPoolSimultaneousFailures(t *testing.T) {
+	const workers = 8
+	var (
+		ready sync.WaitGroup
+		gate  = make(chan struct{})
+	)
+	ready.Add(workers)
+	// Close the gate once every worker holds an item. claimPool blocks
+	// until the join, so the release must already be running.
+	go func() {
+		ready.Wait()
+		close(gate)
+	}()
+	failed, err := claimPool(context.Background(), workers, workers*4, func(w int) (func(i int), error) {
+		return func(i int) {
+			ready.Done()
+			<-gate // all workers panic together
+			panic("simultaneous failure")
+		}, nil
+	})
+	if err == nil {
+		t.Fatal("pool swallowed the simultaneous failures")
+	}
+	if !strings.Contains(err.Error(), "simultaneous failure") {
+		t.Fatalf("first error lost the cause: %v", err)
+	}
+	for w, f := range failed {
+		if !f {
+			t.Errorf("worker %d not marked failed", w)
+		}
+	}
+}
+
+// TestClaimPoolDegenerateInputs: workers <= 0 must default rather than
+// spin up nothing, and n <= 0 must run nothing without spawning
+// goroutines or touching setup.
+func TestClaimPoolDegenerateInputs(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		failed, err := claimPool(context.Background(), 4, n, func(w int) (func(i int), error) {
+			t.Fatalf("setup called for n=%d", n)
+			return nil, nil
+		})
+		if err != nil || failed != nil {
+			t.Fatalf("n=%d: got failed=%v err=%v, want empty run", n, failed, err)
+		}
+	}
+
+	var ran atomic.Int64
+	failed, err := claimPool(context.Background(), 0, 5, func(w int) (func(i int), error) {
+		return func(i int) { ran.Add(1) }, nil
+	})
+	if err != nil {
+		t.Fatalf("workers=0: %v", err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("workers=0 ran %d/5 items", got)
+	}
+	if len(failed) == 0 {
+		t.Fatal("workers=0 reported no worker slots")
+	}
+}
+
+// TestClaimPoolContextCancellation: cancelling the context mid-run must
+// stop the pool at the next claim, surface ctx's error, and NOT mark
+// the cancelled workers failed (their last item completed cleanly).
+func TestClaimPoolContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	const n = 1 << 20 // far more items than can drain before the cancel
+	failed, err := claimPool(ctx, 4, n, func(w int) (func(i int), error) {
+		return func(i int) {
+			if done.Add(1) == 8 {
+				cancel()
+			}
+		}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := done.Load(); got >= n {
+		t.Fatalf("pool drained all %d items despite cancellation", n)
+	}
+	for w, f := range failed {
+		if f {
+			t.Errorf("cancelled worker %d marked failed", w)
+		}
+	}
+}
+
+// TestSimulateFramesParallelCtxCancelled: a pre-cancelled context must
+// return ctx.Err() and no stats from both drivers.
+func TestSimulateFramesParallelCtxCancelled(t *testing.T) {
+	tr := workload.MustGenerate(workload.Profiles["hcr"],
+		workload.Scale{Width: 96, Height: 48, FrameDivisor: 100, DetailDivisor: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if out, err := SimulateFramesParallelCtx(ctx, DefaultConfig(), tr, []int{0, 0, 0}, 2); !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("SimulateFramesParallelCtx = (%v, %v), want (nil, Canceled)", out, err)
+	}
+	if out, err := SimulateFramesParallelCtx(ctx, DefaultConfig(), tr, []int{0}, 1); !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("serial SimulateFramesParallelCtx = (%v, %v), want (nil, Canceled)", out, err)
+	}
+	if out, err := SimulateAllParallelCtx(ctx, DefaultConfig(), tr, 2, nil); !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("SimulateAllParallelCtx = (%v, %v), want (nil, Canceled)", out, err)
 	}
 }

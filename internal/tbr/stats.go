@@ -116,6 +116,44 @@ func (s FrameStats) Scale(n uint64) FrameStats {
 	return out
 }
 
+// ScaleF scales every counter by a non-negative float factor, rounding
+// to nearest. The degraded-mode estimator uses it to rescale cluster
+// weights when quarantined clusters drop out of the extrapolation;
+// integer Scale remains the exact path for whole-cluster weights.
+func (s FrameStats) ScaleF(f float64) FrameStats {
+	mul := func(v uint64) uint64 { return uint64(float64(v)*f + 0.5) }
+	out := s
+	out.Cycles = mul(s.Cycles)
+	out.GeometryCycles = mul(s.GeometryCycles)
+	out.RasterCycles = mul(s.RasterCycles)
+	out.VerticesShaded = mul(s.VerticesShaded)
+	out.PrimsIn = mul(s.PrimsIn)
+	out.PrimsVisible = mul(s.PrimsVisible)
+	out.VSInstrs = mul(s.VSInstrs)
+	out.TileEntries = mul(s.TileEntries)
+	out.QuadsRasterized = mul(s.QuadsRasterized)
+	out.FragmentsShaded = mul(s.FragmentsShaded)
+	out.FragmentsOccluded = mul(s.FragmentsOccluded)
+	out.FSInstrs = mul(s.FSInstrs)
+	out.TexAccesses = mul(s.TexAccesses)
+	out.BlendOps = mul(s.BlendOps)
+	out.FramebufferLines = mul(s.FramebufferLines)
+	out.VPBusyCycles = mul(s.VPBusyCycles)
+	out.FPBusyCycles = mul(s.FPBusyCycles)
+	out.QueueStallCycles = mul(s.QueueStallCycles)
+	out.VertexCache = scaleCacheF(s.VertexCache, f)
+	out.TextureCache = scaleCacheF(s.TextureCache, f)
+	out.TileCache = scaleCacheF(s.TileCache, f)
+	out.L2 = scaleCacheF(s.L2, f)
+	out.DRAM.Accesses = mul(s.DRAM.Accesses)
+	out.DRAM.Reads = mul(s.DRAM.Reads)
+	out.DRAM.Writes = mul(s.DRAM.Writes)
+	out.DRAM.RowHits = mul(s.DRAM.RowHits)
+	out.DRAM.RowMisses = mul(s.DRAM.RowMisses)
+	out.DRAM.BusyCycles = mul(s.DRAM.BusyCycles)
+	return out
+}
+
 // VPUtilization returns the average vertex-processor utilization given
 // the processor count (0 when no cycles elapsed).
 func (s *FrameStats) VPUtilization(numVP int) float64 {
@@ -167,6 +205,16 @@ func scaleCache(s mem.CacheStats, n uint64) mem.CacheStats {
 		Hits:       s.Hits * n,
 		Misses:     s.Misses * n,
 		Writebacks: s.Writebacks * n,
+	}
+}
+
+func scaleCacheF(s mem.CacheStats, f float64) mem.CacheStats {
+	mul := func(v uint64) uint64 { return uint64(float64(v)*f + 0.5) }
+	return mem.CacheStats{
+		Accesses:   mul(s.Accesses),
+		Hits:       mul(s.Hits),
+		Misses:     mul(s.Misses),
+		Writebacks: mul(s.Writebacks),
 	}
 }
 

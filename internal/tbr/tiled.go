@@ -1,6 +1,7 @@
 package tbr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/tbr/mem"
@@ -107,7 +108,10 @@ func (s *Simulator) rasterPassTiled(st *FrameStats, start uint64) uint64 {
 			tw.runTileIsolated(s, t, start)
 		}
 	} else {
-		_, err := claimPool(workers, nTiles, func(w int) (func(int), error) {
+		// Tile pools run inside one frame: cancellation is handled at
+		// frame granularity by the drivers, so the pool itself runs
+		// uncancellable.
+		_, err := claimPool(context.Background(), workers, nTiles, func(w int) (func(int), error) {
 			tw := s.tileWorkers[w]
 			return func(t int) { tw.runTileIsolated(s, t, start) }, nil
 		})
