@@ -19,9 +19,13 @@ CHECK_COVER_FLOOR ?= 85
 # that promises byte-identical resume must stay exercised.
 RESILIENCE_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism resilience validate cover-check resilience-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the campaign service — the cache
+# identity, backpressure and drain guarantees live or die in tests.
+SERVE_COVER_FLOOR ?= 85
 
-ci: vet build race determinism resilience validate cover-check resilience-cover-check bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience serve validate cover-check resilience-cover-check serve-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism resilience serve validate cover-check resilience-cover-check serve-cover-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +56,17 @@ resilience:
 	$(GO) test -race -count=1 -run '^TestGoldenKillAndResume$$' ./internal/resilience
 	$(GO) test -race -count=1 -run '^TestDegradedAccuracyWithinWidenedBands$$' ./internal/resilience
 
+# Explicit gate on the campaign service guarantees: concurrent
+# identical submissions deduplicate to one execution with byte-identical
+# results, the admission queue backpressures with 429 + Retry-After and
+# drains cleanly, a drained daemon's checkpoints resume byte-identically
+# after restart, and the CLI's -server mode matches a local run — all
+# race-detector clean.
+serve:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) test -race -count=1 -run '^TestServerMode' ./cmd/megsim
+	$(GO) test -race -count=1 ./cmd/megsimd
+
 # The statistical acceptance gate: the differential oracle of
 # internal/check runs MEGsim-sampled vs full simulation over three fixed
 # randomized workloads (race-enabled, invariants armed) and fails if any
@@ -73,6 +88,13 @@ resilience-cover-check:
 	if [ -z "$$cov" ]; then echo "resilience-cover-check: no coverage reported for internal/resilience"; exit 1; fi; \
 	echo "internal/resilience coverage: $$cov% (floor $(RESILIENCE_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$cov >= $(RESILIENCE_COVER_FLOOR))}" || { echo "resilience-cover-check: coverage $$cov% below $(RESILIENCE_COVER_FLOOR)% floor"; exit 1; }
+
+# Coverage floor for the campaign service.
+serve-cover-check:
+	@cov=$$($(GO) test -cover ./internal/serve | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "serve-cover-check: no coverage reported for internal/serve"; exit 1; fi; \
+	echo "internal/serve coverage: $$cov% (floor $(SERVE_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(SERVE_COVER_FLOOR))}" || { echo "serve-cover-check: coverage $$cov% below $(SERVE_COVER_FLOOR)% floor"; exit 1; }
 
 # Benchmark baselines: run the tbr and cluster suites, keep the raw
 # benchstat-format text, and convert to JSON with cmd/benchjson. The
@@ -109,3 +131,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzValidateArbitraryPrograms$$' -fuzztime 5s ./internal/shader
 	$(GO) test -run '^$$' -fuzz '^FuzzSearch$$' -fuzztime 5s ./internal/cluster
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 5s ./internal/resilience
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCampaignRequest$$' -fuzztime 5s ./internal/serve

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/harness"
+	"repro/internal/serve"
 	"repro/megsim"
 )
 
@@ -80,6 +81,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		quarantine   = fs.String("quarantine", "", "comma-separated frames to pre-quarantine (route around known-bad frames)")
 		runTimeout   = fs.Duration("run-timeout", 0, "overall wall-clock deadline for the run (0 = none)")
 		stallTimeout = fs.Duration("stall-timeout", 0, "flag a worker stuck on one frame longer than this (0 = off)")
+		server       = fs.String("server", "", "submit the campaign to a megsimd daemon at this address instead of simulating locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +94,37 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	preQuarantine, err := parseFrameList(*quarantine)
 	if err != nil {
 		return fmt.Errorf("-quarantine: %w", err)
+	}
+
+	if *server != "" {
+		// Local-only flags make no sense against a daemon: validation is
+		// a local ground-truth pass, and the daemon owns checkpointing
+		// (one file per campaign fingerprint under its -checkpoint-dir).
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "trace", "validate", "tol", "validate-out", "save-selection", "checkpoint", "resume":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("%s cannot be combined with -server", strings.Join(bad, ", "))
+		}
+		if *benchmark == "" {
+			return fmt.Errorf("-server needs -benchmark (traces are generated daemon-side)")
+		}
+		req := &serve.CampaignRequest{
+			Workload:  serve.WorkloadSpec{Benchmark: *benchmark, FrameDiv: *frameDiv},
+			Threshold: *threshold,
+			Seed:      *seed,
+			GPU:       serve.GPUSpec{TBDR: *tbdr, TileWorkers: *tileWorkers},
+			Resilience: serve.ResilienceSpec{
+				Retries:        *retries,
+				Quarantine:     preQuarantine,
+				StallTimeoutMS: stallTimeout.Milliseconds(),
+			},
+		}
+		return runRemote(ctx, *server, req, *jsonOut, stdout)
 	}
 
 	tr, err := loadTrace(*tracePath, *benchmark, *frameDiv)
@@ -153,24 +186,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Local and remote runs render through the one shared report type:
+	// -json here is byte-identical to the daemon's stored result payload
+	// (modulo sampled_run_ms wall-clock), and the text block is the same
+	// renderer megsim -server uses on fetched results.
+	rep := serve.NewCampaignReport(rrun, sampledTime)
 	if *jsonOut {
-		if err := printJSON(stdout, tr, rrun, sampledTime, val); err != nil {
+		if err := printJSON(stdout, rep, val); err != nil {
 			return err
 		}
 		return val.gateErr()
 	}
 
-	fmt.Fprintf(stdout, "workload:        %s (%d frames)\n", tr.Name, tr.NumFrames())
-	fmt.Fprintf(stdout, "clusters:        %d (explored k=1..%d)\n", run.Selection.Clusters.K, len(run.Selection.BICScores))
-	fmt.Fprintf(stdout, "representatives: %v\n", run.Representatives())
-	fmt.Fprintf(stdout, "reduction:       %.0fx fewer frames\n", run.ReductionFactor())
-	fmt.Fprintf(stdout, "sampled run:     %v total\n", sampledTime.Round(time.Millisecond))
-	printSupervision(stdout, rrun, tr.NumFrames())
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "estimated cycles:      %d\n", run.Estimate.Cycles)
-	fmt.Fprintf(stdout, "estimated dram:        %d\n", run.Estimate.DRAM.Accesses)
-	fmt.Fprintf(stdout, "estimated l2:          %d\n", run.Estimate.L2.Accesses)
-	fmt.Fprintf(stdout, "estimated tile cache:  %d\n", run.Estimate.TileCache.Accesses)
+	rep.WriteText(stdout)
 
 	if val != nil {
 		fmt.Fprintln(stdout)
@@ -192,43 +220,6 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 	return val.gateErr()
-}
-
-// printSupervision reports everything the supervisor did that an
-// operator must know about: resume accounting, retries, watchdog flags,
-// and — loudest — degradation. A healthy, fresh run prints nothing.
-func printSupervision(w io.Writer, rrun *megsim.ResilientRun, numFrames int) {
-	sup := rrun.Supervision
-	if sup == nil {
-		return
-	}
-	if sup.ResumeErr != nil {
-		fmt.Fprintf(w, "WARNING: resume failed, started fresh: %v\n", sup.ResumeErr)
-	}
-	if len(sup.Resumed) > 0 {
-		fmt.Fprintf(w, "resumed:         %d frames from checkpoint %v\n", len(sup.Resumed), sup.Resumed)
-	}
-	if sup.Retried > 0 {
-		fmt.Fprintf(w, "retried:         %d frames needed more than one attempt\n", sup.Retried)
-	}
-	if len(sup.StalledWorkers) > 0 {
-		fmt.Fprintf(w, "WARNING: watchdog flagged stalled workers %v\n", sup.StalledWorkers)
-	}
-	if !rrun.Degraded() {
-		return
-	}
-	d := rrun.Degradation
-	fmt.Fprintf(w, "DEGRADED: %d frames quarantined, coverage %.1f%% of %d frames\n",
-		len(sup.Quarantined), d.Coverage()*100, numFrames)
-	for _, q := range sup.Quarantined {
-		fmt.Fprintf(w, "  %s\n", q.String())
-	}
-	for _, s := range d.Substitutions {
-		fmt.Fprintf(w, "  substitute: cluster %d representative %d -> %d\n", s.Cluster, s.Original, s.Substitute)
-	}
-	for _, c := range d.LostClusters {
-		fmt.Fprintf(w, "  lost: cluster %d entirely quarantined, weights rescaled\n", c)
-	}
 }
 
 // validation is the -validate accuracy report: the sampled estimate
@@ -330,73 +321,15 @@ func parseFrameList(s string) ([]int, error) {
 	return out, nil
 }
 
-// resilienceReport is the machine-readable supervision summary.
-type resilienceReport struct {
-	Degraded      bool                       `json:"degraded"`
-	Coverage      float64                    `json:"coverage"`
-	Quarantined   []megsim.QuarantineRecord  `json:"quarantined,omitempty"`
-	Substitutions []megsim.Substitution      `json:"substitutions,omitempty"`
-	LostClusters  []int                      `json:"lost_clusters,omitempty"`
-	Resumed       []int                      `json:"resumed_frames,omitempty"`
-	Retried       int                        `json:"retried_frames,omitempty"`
-	Stalled       []int                      `json:"stalled_workers,omitempty"`
-	ResumeError   string                     `json:"resume_error,omitempty"`
-}
-
-func newResilienceReport(rrun *megsim.ResilientRun) *resilienceReport {
-	sup := rrun.Supervision
-	if sup == nil {
-		return nil
-	}
-	rep := &resilienceReport{
-		Degraded:    rrun.Degraded(),
-		Coverage:    1.0,
-		Quarantined: sup.Quarantined,
-		Resumed:     sup.Resumed,
-		Retried:     sup.Retried,
-		Stalled:     sup.StalledWorkers,
-	}
-	if d := rrun.Degradation; d != nil {
-		rep.Coverage = d.Coverage()
-		rep.Substitutions = d.Substitutions
-		rep.LostClusters = d.LostClusters
-	}
-	if sup.ResumeErr != nil {
-		rep.ResumeError = sup.ResumeErr.Error()
-	}
-	return rep
-}
-
-// printJSON emits a machine-readable run summary.
-func printJSON(w io.Writer, tr *megsim.Trace, rrun *megsim.ResilientRun, sampled time.Duration, val *validation) error {
-	run := rrun.Run
+// printJSON emits a machine-readable run summary: the shared campaign
+// report, plus the local-only validation block when -validate ran. With
+// no validation attached the bytes match the daemon's result payload
+// exactly.
+func printJSON(w io.Writer, rep *serve.CampaignReport, val *validation) error {
 	out := struct {
-		Workload        string            `json:"workload"`
-		Frames          int               `json:"frames"`
-		Clusters        int               `json:"clusters"`
-		Representatives []int             `json:"representatives"`
-		Reduction       float64           `json:"reduction_factor"`
-		SampledMillis   int64             `json:"sampled_run_ms"`
-		Cycles          uint64            `json:"estimated_cycles"`
-		DRAMAccesses    uint64            `json:"estimated_dram_accesses"`
-		L2Accesses      uint64            `json:"estimated_l2_accesses"`
-		TileAccesses    uint64            `json:"estimated_tile_cache_accesses"`
-		Resilience      *resilienceReport `json:"resilience,omitempty"`
-		Validation      *validation       `json:"validation,omitempty"`
-	}{
-		Workload:        tr.Name,
-		Frames:          tr.NumFrames(),
-		Clusters:        run.Selection.Clusters.K,
-		Representatives: run.Representatives(),
-		Reduction:       run.ReductionFactor(),
-		SampledMillis:   sampled.Milliseconds(),
-		Cycles:          run.Estimate.Cycles,
-		DRAMAccesses:    run.Estimate.DRAM.Accesses,
-		L2Accesses:      run.Estimate.L2.Accesses,
-		TileAccesses:    run.Estimate.TileCache.Accesses,
-		Resilience:      newResilienceReport(rrun),
-		Validation:      val,
-	}
+		*serve.CampaignReport
+		Validation *validation `json:"validation,omitempty"`
+	}{rep, val}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

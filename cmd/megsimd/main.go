@@ -1,0 +1,104 @@
+// Command megsimd serves MEGsim sampling campaigns over HTTP/JSON:
+// clients POST a campaign (workload + methodology + GPU + resilience
+// spec), get back a job ID, and poll for the result. The daemon
+// deduplicates identical campaigns through a content-addressed result
+// cache at trace, characterization, and per-representative frame
+// granularity, bounds admission with backpressure (429 + Retry-After),
+// exposes live Prometheus metrics on /metrics, and drains gracefully on
+// SIGINT/SIGTERM — in-flight jobs checkpoint at the next frame boundary
+// when -checkpoint-dir is set, so resubmitting the same campaign after
+// a restart resumes instead of recomputing.
+//
+// Usage:
+//
+//	megsimd -addr :8350
+//	megsimd -addr :8350 -workers 4 -queue 128 -checkpoint-dir /var/lib/megsimd
+//	megsim -server localhost:8350 -benchmark hcr     # submit from the CLI
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	// SIGINT/SIGTERM trigger the graceful drain: stop admitting, cancel
+	// queued jobs, let running jobs checkpoint, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "megsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon behind a single error return, mirroring the
+// megsim CLI's structure so the lifecycle is testable in-process.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("megsimd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8350", "listen address")
+		queue        = fs.Int("queue", serve.DefaultQueueCapacity, "admission queue capacity (submissions beyond it get 429)")
+		workers      = fs.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		ckptDir      = fs.String("checkpoint-dir", "", "checkpoint jobs at frame granularity under this directory (enables resume across restarts)")
+		frameCache   = fs.Int("frame-cache", 0, "per-representative frame results kept in the cache (0 = default)")
+		drainTimeout = fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs to reach a frame boundary on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		QueueCapacity:   *queue,
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		MaxCachedFrames: *frameCache,
+		Log:             stdout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Report the resolved address (the test listens on port 0).
+	fmt.Fprintf(stdout, "megsimd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "megsimd: draining (in-flight jobs checkpoint at the next frame boundary)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "megsimd: drained cleanly")
+	return nil
+}

@@ -4,8 +4,28 @@ import (
 	"fmt"
 
 	"repro/internal/report"
+	"repro/internal/resilience"
 	"repro/internal/tbr"
 )
+
+// ServiceOptions is the `service` preset: the settings the campaign
+// service (internal/serve) and its tests run campaigns under — the
+// small test-scale workload with the tile-parallel raster stage on.
+// Serve's cache-identity tests compare daemon responses against a
+// direct megsim run under exactly these options, so keep the preset and
+// the serve test fixtures in lockstep.
+func ServiceOptions() Options {
+	o := TestOptions()
+	o.TileWorkers = 2
+	return o
+}
+
+// ServiceResilience is the supervisor half of the `service` preset:
+// resilience on (one retry per frame) with backoff disabled, so tests
+// exercise the supervised path without sleeping on injected faults.
+func ServiceResilience() resilience.Config {
+	return resilience.Config{MaxAttempts: 2, BackoffBase: -1}
+}
 
 // PresetTable compares the named GPU presets on one benchmark by
 // re-simulating only the cached MEGsim representatives per preset — a

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gltrace"
+	"repro/internal/obs"
+	"repro/internal/tbr"
+)
+
+func testCache() *Cache {
+	return NewCache(obs.NewWith(obs.Options{TraceCapacity: -1}), 0)
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := testCache()
+	ctx := context.Background()
+
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func() (*gltrace.Trace, error) {
+		builds.Add(1)
+		<-gate // hold every concurrent caller in one flight
+		return &gltrace.Trace{Name: "shared"}, nil
+	}
+
+	const N = 8
+	results := make([]*gltrace.Trace, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Trace(ctx, "k", build)
+			if err != nil {
+				t.Errorf("Trace: %v", err)
+			}
+			results[i] = tr
+		}(i)
+	}
+	// Wait for the flight to start, then release the builder. Late
+	// joiners that arrive after completion get plain map hits — either
+	// way the builder must have run exactly once.
+	for builds.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builder ran %d times, want 1", got)
+	}
+	for i := 1; i < N; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers got different values")
+		}
+	}
+	snap := c.traceHit.Value() + c.traceMiss.Value()
+	if snap != N || c.traceMiss.Value() != 1 {
+		t.Fatalf("hit/miss accounting: hit=%d miss=%d, want %d/1", c.traceHit.Value(), c.traceMiss.Value(), N-1)
+	}
+
+	// Now a plain map hit.
+	if _, err := c.Trace(ctx, "k", func() (*gltrace.Trace, error) {
+		t.Fatal("builder ran on a cached key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := testCache()
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (*gltrace.Trace, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &gltrace.Trace{Name: "ok"}, nil
+	}
+	if _, err := c.Trace(ctx, "k", build); !errors.Is(err, boom) {
+		t.Fatalf("first call: err = %v, want boom", err)
+	}
+	tr, err := c.Trace(ctx, "k", build)
+	if err != nil || tr.Name != "ok" {
+		t.Fatalf("retry after error: %v %v", tr, err)
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times, want 2 (errors must not cache)", calls)
+	}
+}
+
+func TestCacheJoinerRespectsContext(t *testing.T) {
+	c := testCache()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Trace(context.Background(), "k", func() (*gltrace.Trace, error) {
+			close(started)
+			<-gate
+			return &gltrace.Trace{Name: "slow"}, nil
+		})
+	}()
+	<-started
+
+	// A second job joining the flight is cancelled: it must unblock with
+	// its own context error, not wait for the other job's build.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Trace(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner: err = %v, want context.Canceled", err)
+	}
+	close(gate)
+}
+
+func TestFifoMapEviction(t *testing.T) {
+	m := newFifoMap[int](2)
+	m.put("a", 1)
+	m.put("b", 2)
+	m.put("a", 10) // overwrite must not count as a new entry
+	if m.len() != 2 {
+		t.Fatalf("len = %d, want 2", m.len())
+	}
+	m.put("c", 3)
+	if m.len() != 2 {
+		t.Fatalf("len after eviction = %d, want 2", m.len())
+	}
+	if _, ok := m.get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if v, ok := m.get("c"); !ok || v != 3 {
+		t.Fatal("newest entry missing")
+	}
+	if v, ok := m.get("b"); !ok || v != 2 {
+		t.Fatal("middle entry missing")
+	}
+}
+
+func TestCacheFrameLayerBounded(t *testing.T) {
+	reg := obs.NewWith(obs.Options{TraceCapacity: -1})
+	c := NewCache(reg, 4)
+	fn := c.FrameRunner("fp", func(ctx context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
+		return tbr.FrameStats{}, nil
+	})
+	ctx := context.Background()
+	for f := 0; f < 10; f++ {
+		if _, err := fn(ctx, f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.frames.len(); got != 4 {
+		t.Fatalf("frame cache holds %d entries, want bound 4", got)
+	}
+	if c.frameMiss.Value() != 10 {
+		t.Fatalf("misses = %d, want 10", c.frameMiss.Value())
+	}
+	// Re-running the newest frame hits; the evicted oldest misses again.
+	if _, err := fn(ctx, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.frameHit.Value() != 1 {
+		t.Fatalf("hits = %d, want 1", c.frameHit.Value())
+	}
+	if _, err := fn(ctx, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.frameMiss.Value() != 11 {
+		t.Fatalf("misses = %d, want 11 after eviction", c.frameMiss.Value())
+	}
+}
+
+// Ensure distinct run fingerprints never share frame entries.
+func TestCacheFrameKeyIncludesFingerprint(t *testing.T) {
+	c := testCache()
+	runs := map[string]int{}
+	mk := func(fp string) func(context.Context, int, *obs.Registry) (tbr.FrameStats, error) {
+		return func(ctx context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
+			runs[fmt.Sprintf("%s#%d", fp, frame)]++
+			return tbr.FrameStats{}, nil
+		}
+	}
+	ctx := context.Background()
+	a := c.FrameRunner("fpA", mk("fpA"))
+	b := c.FrameRunner("fpB", mk("fpB"))
+	a(ctx, 1, nil)
+	b(ctx, 1, nil)
+	a(ctx, 1, nil)
+	if runs["fpA#1"] != 1 || runs["fpB#1"] != 1 {
+		t.Fatalf("frame cache crossed fingerprints: %v", runs)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/megsim"
+)
+
+// ResilienceSummary is the machine-readable supervision outcome of a
+// campaign: degradation, quarantine, resume/retry accounting and
+// watchdog flags. It is the service-side twin of what `megsim`'s CLI
+// has always reported, shared here so local and remote runs render the
+// identical block.
+type ResilienceSummary struct {
+	Degraded      bool                      `json:"degraded"`
+	Coverage      float64                   `json:"coverage"`
+	Quarantined   []megsim.QuarantineRecord `json:"quarantined,omitempty"`
+	Substitutions []megsim.Substitution     `json:"substitutions,omitempty"`
+	LostClusters  []int                     `json:"lost_clusters,omitempty"`
+	Resumed       []int                     `json:"resumed_frames,omitempty"`
+	Retried       int                       `json:"retried_frames,omitempty"`
+	Stalled       []int                     `json:"stalled_workers,omitempty"`
+	ResumeError   string                    `json:"resume_error,omitempty"`
+}
+
+// NewResilienceSummary extracts the supervision summary of a resilient
+// run (nil when the run carries no supervision record).
+func NewResilienceSummary(rrun *megsim.ResilientRun) *ResilienceSummary {
+	sup := rrun.Supervision
+	if sup == nil {
+		return nil
+	}
+	sum := &ResilienceSummary{
+		Degraded:    rrun.Degraded(),
+		Coverage:    1.0,
+		Quarantined: sup.Quarantined,
+		Resumed:     sup.Resumed,
+		Retried:     sup.Retried,
+		Stalled:     sup.StalledWorkers,
+	}
+	if d := rrun.Degradation; d != nil {
+		sum.Coverage = d.Coverage()
+		sum.Substitutions = d.Substitutions
+		sum.LostClusters = d.LostClusters
+	}
+	if sup.ResumeErr != nil {
+		sum.ResumeError = sup.ResumeErr.Error()
+	}
+	return sum
+}
+
+// CampaignReport is the final result of a campaign — exactly the
+// summary the megsim CLI prints, as plain data. The service stores the
+// rendered JSON once per job, so every client polling the same job
+// receives byte-identical bytes; the CLI's -server mode re-renders the
+// same text report locally from this struct.
+type CampaignReport struct {
+	Workload        string  `json:"workload"`
+	Frames          int     `json:"frames"`
+	Clusters        int     `json:"clusters"`
+	ExploredK       int     `json:"explored_k"`
+	Representatives []int   `json:"representatives"`
+	Reduction       float64 `json:"reduction_factor"`
+	// SampledMillis is wall-clock and therefore the only field that
+	// differs between two executions of the same campaign; byte-identity
+	// guarantees are over the report with this field normalized (a
+	// cache-hit response reports the original execution's timing).
+	SampledMillis int64              `json:"sampled_run_ms"`
+	Cycles        uint64             `json:"estimated_cycles"`
+	DRAMAccesses  uint64             `json:"estimated_dram_accesses"`
+	L2Accesses    uint64             `json:"estimated_l2_accesses"`
+	TileAccesses  uint64             `json:"estimated_tile_cache_accesses"`
+	Resilience    *ResilienceSummary `json:"resilience,omitempty"`
+}
+
+// NewCampaignReport summarizes a resilient run.
+func NewCampaignReport(rrun *megsim.ResilientRun, sampled time.Duration) *CampaignReport {
+	run := rrun.Run
+	return &CampaignReport{
+		Workload:        run.Trace.Name,
+		Frames:          run.Trace.NumFrames(),
+		Clusters:        run.Selection.Clusters.K,
+		ExploredK:       len(run.Selection.BICScores),
+		Representatives: run.Representatives(),
+		Reduction:       run.ReductionFactor(),
+		SampledMillis:   sampled.Milliseconds(),
+		Cycles:          run.Estimate.Cycles,
+		DRAMAccesses:    run.Estimate.DRAM.Accesses,
+		L2Accesses:      run.Estimate.L2.Accesses,
+		TileAccesses:    run.Estimate.TileCache.Accesses,
+		Resilience:      NewResilienceSummary(rrun),
+	}
+}
+
+// WriteJSON writes the report as indented JSON (the service's result
+// payload and the CLI's -json output).
+func (r *CampaignReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable run summary — the exact block
+// the megsim CLI prints, whether the run executed in-process or on a
+// megsimd daemon.
+func (r *CampaignReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "workload:        %s (%d frames)\n", r.Workload, r.Frames)
+	fmt.Fprintf(w, "clusters:        %d (explored k=1..%d)\n", r.Clusters, r.ExploredK)
+	fmt.Fprintf(w, "representatives: %v\n", r.Representatives)
+	fmt.Fprintf(w, "reduction:       %.0fx fewer frames\n", r.Reduction)
+	fmt.Fprintf(w, "sampled run:     %v total\n", time.Duration(r.SampledMillis)*time.Millisecond)
+	r.writeSupervision(w)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "estimated cycles:      %d\n", r.Cycles)
+	fmt.Fprintf(w, "estimated dram:        %d\n", r.DRAMAccesses)
+	fmt.Fprintf(w, "estimated l2:          %d\n", r.L2Accesses)
+	fmt.Fprintf(w, "estimated tile cache:  %d\n", r.TileAccesses)
+}
+
+// writeSupervision reports everything the supervisor did that an
+// operator must know about: resume accounting, retries, watchdog flags,
+// and — loudest — degradation. A healthy, fresh run prints nothing.
+func (r *CampaignReport) writeSupervision(w io.Writer) {
+	sum := r.Resilience
+	if sum == nil {
+		return
+	}
+	if sum.ResumeError != "" {
+		fmt.Fprintf(w, "WARNING: resume failed, started fresh: %v\n", sum.ResumeError)
+	}
+	if len(sum.Resumed) > 0 {
+		fmt.Fprintf(w, "resumed:         %d frames from checkpoint %v\n", len(sum.Resumed), sum.Resumed)
+	}
+	if sum.Retried > 0 {
+		fmt.Fprintf(w, "retried:         %d frames needed more than one attempt\n", sum.Retried)
+	}
+	if len(sum.Stalled) > 0 {
+		fmt.Fprintf(w, "WARNING: watchdog flagged stalled workers %v\n", sum.Stalled)
+	}
+	if !sum.Degraded {
+		return
+	}
+	fmt.Fprintf(w, "DEGRADED: %d frames quarantined, coverage %.1f%% of %d frames\n",
+		len(sum.Quarantined), sum.Coverage*100, r.Frames)
+	for _, q := range sum.Quarantined {
+		fmt.Fprintf(w, "  %s\n", q.String())
+	}
+	for _, s := range sum.Substitutions {
+		fmt.Fprintf(w, "  substitute: cluster %d representative %d -> %d\n", s.Cluster, s.Original, s.Substitute)
+	}
+	for _, c := range sum.LostClusters {
+		fmt.Fprintf(w, "  lost: cluster %d entirely quarantined, weights rescaled\n", c)
+	}
+}

@@ -135,6 +135,21 @@ func SampleResilient(ctx context.Context, tr *Trace, cfg Config, gpu GPUConfig, 
 	if err != nil {
 		return nil, fmt.Errorf("megsim: selection: %w", err)
 	}
+	return SampleResilientPrepared(ctx, tr, ch, sel, gpu, rcfg, FrameRunner(tr, gpu))
+}
+
+// SampleResilientPrepared is the supervise-then-degrade core of
+// SampleResilient for callers that bring their own characterization,
+// selection and frame function — the campaign service (internal/serve)
+// uses it to reuse a content-addressed characterization cache and to
+// wrap FrameRunner with a per-representative result cache. The
+// semantics are exactly SampleResilient's given the same inputs: fn
+// must be pure per frame (same frame, same stats), which FrameRunner —
+// or a cache over it — provides.
+func SampleResilientPrepared(ctx context.Context, tr *Trace, ch *Characterization, sel *Selection, gpu GPUConfig, rcfg ResilienceConfig, fn ResilientFrameFunc) (*ResilientRun, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if rcfg.Fingerprint == "" {
 		rcfg.Fingerprint = RunFingerprint(tr, gpu)
 	}
@@ -142,7 +157,6 @@ func SampleResilient(ctx context.Context, tr *Trace, cfg Config, gpu GPUConfig, 
 		rcfg.Obs = gpu.Obs
 	}
 
-	fn := FrameRunner(tr, gpu)
 	quarantined := map[int]bool{}
 	for _, f := range rcfg.Quarantine {
 		quarantined[f] = true
@@ -208,6 +222,7 @@ func SampleResilient(ctx context.Context, tr *Trace, cfg Config, gpu GPUConfig, 
 		RepresentativeStats: repStats,
 	}
 	out := &ResilientRun{Run: run, Supervision: sup}
+	var err error
 	if deg.Degraded() {
 		out.Degradation = deg
 		run.Estimate, err = deg.Estimate(repStats)
