@@ -23,9 +23,13 @@ RESILIENCE_COVER_FLOOR ?= 85
 # identity, backpressure and drain guarantees live or die in tests.
 SERVE_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism resilience serve validate cover-check resilience-cover-check serve-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the distributed campaign fabric — the
+# failover and byte-identity guarantees of cluster mode.
+FABRIC_COVER_FLOOR ?= 85
 
-ci: vet build race determinism resilience serve validate cover-check resilience-cover-check serve-cover-check bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +71,16 @@ serve:
 	$(GO) test -race -count=1 -run '^TestServerMode' ./cmd/megsim
 	$(GO) test -race -count=1 ./cmd/megsimd
 
+# Explicit gate on the cluster guarantees: killing a worker mid-campaign
+# still produces byte-identical results (the coordinator fails over and
+# the supervisor requeues lost frames), a campaign drained on one
+# coordinator resumes byte-identically on another over a different
+# fleet, routing policies respect draining/affinity invariants, and the
+# worker/coordinator endpoints hold their refusal semantics — all
+# race-detector clean.
+fabric:
+	$(GO) test -race -count=1 ./internal/fabric
+
 # The statistical acceptance gate: the differential oracle of
 # internal/check runs MEGsim-sampled vs full simulation over three fixed
 # randomized workloads (race-enabled, invariants armed) and fails if any
@@ -95,6 +109,13 @@ serve-cover-check:
 	if [ -z "$$cov" ]; then echo "serve-cover-check: no coverage reported for internal/serve"; exit 1; fi; \
 	echo "internal/serve coverage: $$cov% (floor $(SERVE_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$cov >= $(SERVE_COVER_FLOOR))}" || { echo "serve-cover-check: coverage $$cov% below $(SERVE_COVER_FLOOR)% floor"; exit 1; }
+
+# Coverage floor for the campaign fabric.
+fabric-cover-check:
+	@cov=$$($(GO) test -cover ./internal/fabric | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "fabric-cover-check: no coverage reported for internal/fabric"; exit 1; fi; \
+	echo "internal/fabric coverage: $$cov% (floor $(FABRIC_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(FABRIC_COVER_FLOOR))}" || { echo "fabric-cover-check: coverage $$cov% below $(FABRIC_COVER_FLOOR)% floor"; exit 1; }
 
 # Benchmark baselines: run the tbr and cluster suites, keep the raw
 # benchstat-format text, and convert to JSON with cmd/benchjson. The
@@ -132,3 +153,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSearch$$' -fuzztime 5s ./internal/cluster
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 5s ./internal/resilience
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCampaignRequest$$' -fuzztime 5s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWorkUnit$$' -fuzztime 5s ./internal/fabric

@@ -9,15 +9,25 @@
 // when -checkpoint-dir is set, so resubmitting the same campaign after
 // a restart resumes instead of recomputing.
 //
+// The daemon also runs as either half of a cluster: -worker turns it
+// into a stateless simulation worker serving single frames over the
+// fabric protocol, and -coordinator turns it into the cluster's
+// coordinator — the same campaign API, with representative frames
+// dispatched across the worker fleet (affinity-routed by default) and
+// worker failures absorbed by the resilience supervisor's requeue path.
+//
 // Usage:
 //
 //	megsimd -addr :8350
 //	megsimd -addr :8350 -workers 4 -queue 128 -checkpoint-dir /var/lib/megsimd
-//	megsim -server localhost:8350 -benchmark hcr     # submit from the CLI
+//	megsimd -addr :8351 -worker                              # simulation worker
+//	megsimd -addr :8350 -coordinator http://a:8351,http://b:8351 -checkpoint-dir /var/lib/megsimd
+//	megsim -server localhost:8350 -benchmark hcr             # submit from the CLI
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,9 +35,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,9 +66,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ckptDir      = fs.String("checkpoint-dir", "", "checkpoint jobs at frame granularity under this directory (enables resume across restarts)")
 		frameCache   = fs.Int("frame-cache", 0, "per-representative frame results kept in the cache (0 = default)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs to reach a frame boundary on shutdown")
+		workerMode   = fs.Bool("worker", false, "run as a cluster simulation worker (serves single frames, not campaigns)")
+		coordinator  = fs.String("coordinator", "", "comma-separated worker URLs; run as the cluster coordinator dispatching frames to this fleet")
+		policy       = fs.String("policy", "", "coordinator frame routing: affinity (default), round-robin or least-loaded")
+		heartbeat    = fs.Duration("heartbeat", 0, "coordinator worker-probe cadence (0 = default)")
+		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant submissions per second via the X-Megsim-Tenant header (0 = tenant throttling off)")
+		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant submission burst (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workerMode {
+		switch {
+		case *coordinator != "":
+			return errors.New("-worker and -coordinator are mutually exclusive")
+		case *ckptDir != "" || *tenantRate != 0 || *policy != "":
+			return errors.New("-worker mode takes no campaign-service flags (-checkpoint-dir, -tenant-rate, -policy)")
+		}
+		return runWorker(ctx, *addr, *drainTimeout, stdout)
+	}
+	if *policy != "" && *coordinator == "" {
+		return errors.New("-policy requires -coordinator")
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -63,13 +94,40 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		QueueCapacity:   *queue,
 		Workers:         *workers,
 		CheckpointDir:   *ckptDir,
 		MaxCachedFrames: *frameCache,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
 		Log:             stdout,
-	})
+	}
+	if *coordinator != "" {
+		pol, err := fabric.PolicyByName(*policy)
+		if err != nil {
+			return err
+		}
+		// Coordinator and campaign service share one registry, so
+		// /metrics exports the per-worker fleet gauges alongside the
+		// job counters.
+		reg := obs.NewWith(obs.Options{TraceCapacity: -1})
+		coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+			Workers:           strings.Split(*coordinator, ","),
+			Policy:            pol,
+			Obs:               reg,
+			HeartbeatInterval: *heartbeat,
+			Log:               stdout,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		cfg.Obs = reg
+		cfg.Dispatcher = coord
+		fmt.Fprintf(stdout, "megsimd: coordinating %d workers (%s routing)\n", len(coord.Workers()), pol.Name())
+	}
+	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -95,6 +153,39 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "megsimd: drained cleanly")
+	return nil
+}
+
+// runWorker is the daemon's -worker mode: a stateless fabric simulation
+// worker. On SIGINT/SIGTERM it drains — new frames get 503 (the
+// coordinator fails over without burying the worker) while in-flight
+// frames finish inside the HTTP server's shutdown wait.
+func runWorker(ctx context.Context, addr string, drainTimeout time.Duration, stdout io.Writer) error {
+	w := fabric.NewWorker(fabric.WorkerConfig{Log: stdout})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "megsimd: worker listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: w.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	w.Drain()
+	fmt.Fprintln(stdout, "megsimd: worker draining (in-flight frames finish)")
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return err

@@ -1,0 +1,417 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/megsim"
+	"sync/atomic"
+
+	"repro/internal/tbr"
+)
+
+// DefaultHeartbeatInterval is the worker-probe cadence when
+// CoordinatorConfig leaves it zero.
+const DefaultHeartbeatInterval = 2 * time.Second
+
+// maxResultBytes bounds a worker's frame-result body.
+const maxResultBytes = 32 << 20
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Workers is the static peer list: base URLs of the worker fleet
+	// (e.g. "http://sim-3:8080"). Required, order-insensitive — routing
+	// keys on the URL, not the position.
+	Workers []string
+	// Policy routes frames to workers (nil = NewAffinity, which
+	// co-locates each campaign's frames on one worker's trace cache).
+	Policy Policy
+	// Obs receives the coordinator's fabric counters and per-worker
+	// gauges (nil = a fresh metrics-only registry). Pass the campaign
+	// server's registry so /metrics exports the fleet state.
+	Obs *obs.Registry
+	// Client is the HTTP client for dispatch and heartbeats (nil = a
+	// client with a 5-minute timeout; per-frame simulation is slow).
+	Client *http.Client
+	// HeartbeatInterval is the health-probe cadence (0 =
+	// DefaultHeartbeatInterval; negative disables the loop — workers are
+	// then only marked down by failed dispatches, and recover only via
+	// an explicit Probe).
+	HeartbeatInterval time.Duration
+	// Log, when non-nil, receives coordinator log lines; it must
+	// tolerate concurrent writes.
+	Log io.Writer
+}
+
+// member is one worker as the coordinator tracks it.
+type member struct {
+	name string // normalized base URL; the routing identity
+
+	down     atomic.Bool
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	up   *obs.Gauge
+	load *obs.Gauge
+}
+
+// Coordinator dispatches work units across the worker fleet and folds
+// fleet state into the observability registry. It implements
+// serve.Dispatcher, so plugging it into serve.Config turns the campaign
+// service into the cluster's coordinator.
+//
+// Failure handling per dispatch: a worker that refuses the unit
+// deterministically (4xx — bad unit, fingerprint skew) fails the frame
+// outright, surfacing through the supervisor's ordinary retry and
+// quarantine path. A worker that dies (network error, 5xx) is marked
+// down and the dispatch fails over to the policy's next candidate; a
+// draining worker (503) fails over without being marked down. When no
+// candidates remain the dispatch returns resilience.WorkerLost, which
+// the supervisor requeues without charging the frame's attempt budget —
+// the frame re-enters the pool as soon as any worker comes back.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	policy  Policy
+	client  *http.Client
+	reg     *obs.Registry
+	members []*member
+
+	live *obs.Gauge
+
+	dispatched, failovers *obs.Counter
+	lost, refused         *obs.Counter
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator over the worker fleet and starts
+// its heartbeat loop (unless disabled). Callers own Close.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fabric: coordinator needs at least one worker URL")
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewWith(obs.Options{TraceCapacity: -1})
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = NewAffinity()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		policy:     policy,
+		client:     client,
+		reg:        reg,
+		live:       reg.Gauge("fabric.workers.live"),
+		dispatched: reg.Counter("fabric.dispatch.sent"),
+		failovers:  reg.Counter("fabric.dispatch.failover"),
+		lost:       reg.Counter("fabric.dispatch.lost"),
+		refused:    reg.Counter("fabric.dispatch.refused"),
+		stop:       make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Workers {
+		name := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		i := len(c.members)
+		m := &member{
+			name: name,
+			up:   reg.Gauge(fmt.Sprintf("fabric.worker.%d.up", i)),
+			load: reg.Gauge(fmt.Sprintf("fabric.worker.%d.inflight", i)),
+		}
+		m.up.Set(1)
+		c.members = append(c.members, m)
+	}
+	if len(c.members) == 0 {
+		return nil, errors.New("fabric: coordinator needs at least one worker URL")
+	}
+	c.live.Set(int64(len(c.members)))
+	interval := cfg.HeartbeatInterval
+	if interval == 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if interval > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop(interval)
+	}
+	return c, nil
+}
+
+// Close stops the heartbeat loop. Safe to call more than once.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Workers returns the normalized peer list in routing order.
+func (c *Coordinator) Workers() []string {
+	names := make([]string, len(c.members))
+	for i, m := range c.members {
+		names[i] = m.name
+	}
+	return names
+}
+
+// FrameRunner implements serve.Dispatcher: the returned frame function
+// ships each frame to the fleet and merges the worker's observability
+// snapshot into the supervisor's per-frame registry — the same
+// MergeSnapshot path a checkpoint resume replays, so a distributed
+// campaign's merged registry is byte-identical to a local run's.
+func (c *Coordinator) FrameRunner(fp string, req *serve.CampaignRequest) megsim.ResilientFrameFunc {
+	return func(ctx context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
+		u := &WorkUnit{
+			Fingerprint: fp,
+			Frame:       frame,
+			Workload:    req.Workload,
+			GPU:         req.GPU,
+			Obs:         reg.Enabled(),
+		}
+		res, err := c.Dispatch(ctx, u)
+		if err != nil {
+			return tbr.FrameStats{}, err
+		}
+		if res.Obs != nil {
+			reg.MergeSnapshot(res.Obs)
+		}
+		return res.Stats, nil
+	}
+}
+
+var _ serve.Dispatcher = (*Coordinator)(nil)
+
+// Dispatch routes one work unit to a worker, failing over across the
+// fleet as described on Coordinator.
+func (c *Coordinator) Dispatch(ctx context.Context, u *WorkUnit) (*WorkResult, error) {
+	tried := make(map[int]bool)
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx := c.pick(u.Fingerprint, tried)
+		if idx < 0 {
+			c.lost.Inc()
+			if lastErr == nil {
+				lastErr = errors.New("no live workers")
+			}
+			return nil, resilience.WorkerLost(lastErr)
+		}
+		m := c.members[idx]
+		c.dispatched.Inc()
+		res, unitErr, dispErr := c.post(ctx, m, u)
+		switch {
+		case dispErr == nil && unitErr == nil:
+			return res, nil
+		case unitErr != nil:
+			// Deterministic refusal: the frame itself is the problem, so
+			// failover would only re-fail it N times. Let the supervisor's
+			// retry/quarantine path own it.
+			c.refused.Inc()
+			return nil, unitErr
+		case errors.Is(dispErr, errDraining):
+			m.draining.Store(true)
+			c.logf("fabric: %s draining, failing over", m.name)
+		default:
+			if err := ctx.Err(); err != nil {
+				// The transport error was our own cancellation, not the
+				// worker's death.
+				return nil, err
+			}
+			c.markDown(m, dispErr)
+		}
+		tried[idx] = true
+		lastErr = dispErr
+		c.failovers.Inc()
+	}
+}
+
+// pick builds the candidate view (live, untried members) and asks the
+// policy. Draining members are candidates the policy must skip, so an
+// all-draining fleet reads as "no pick" rather than an error.
+func (c *Coordinator) pick(key string, tried map[int]bool) int {
+	cands := make([]Candidate, 0, len(c.members))
+	idxs := make([]int, 0, len(c.members))
+	for i, m := range c.members {
+		if tried[i] || m.down.Load() {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Name:     m.name,
+			Load:     int(m.inflight.Load()),
+			Draining: m.draining.Load(),
+		})
+		idxs = append(idxs, i)
+	}
+	p := c.policy.Pick(key, cands)
+	if p < 0 {
+		return -1
+	}
+	return idxs[p]
+}
+
+// errDraining marks a 503 from a worker: back off, don't bury it.
+var errDraining = errors.New("fabric: worker draining")
+
+// post sends one unit to one member. It returns exactly one of:
+// a result; a unit error (the worker deterministically refused this
+// unit — 4xx); a dispatch error (the worker is unreachable, dying or
+// draining — eligible for failover).
+func (c *Coordinator) post(ctx context.Context, m *member, u *WorkUnit) (res *WorkResult, unitErr, dispErr error) {
+	m.inflight.Add(1)
+	m.load.Set(m.inflight.Load())
+	defer func() {
+		m.inflight.Add(-1)
+		m.load.Set(m.inflight.Load())
+	}()
+	body, err := json.Marshal(u)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: encode work unit: %w", err), nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.name+"/fabric/v1/frames", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fabric: build request: %w", err), nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	if err != nil {
+		return nil, nil, fmt.Errorf("read response from %s: %w", m.name, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		out := &WorkResult{}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, nil, fmt.Errorf("malformed result from %s: %w", m.name, err)
+		}
+		if out.Frame != u.Frame {
+			return nil, nil, fmt.Errorf("%s answered frame %d for frame %d", m.name, out.Frame, u.Frame)
+		}
+		return out, nil, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return nil, nil, errDraining
+	case resp.StatusCode >= http.StatusInternalServerError:
+		return nil, nil, fmt.Errorf("%s answered %d: %s", m.name, resp.StatusCode, errBody(raw))
+	default:
+		return nil, fmt.Errorf("fabric: %s refused frame %d (%d): %s", m.name, u.Frame, resp.StatusCode, errBody(raw)), nil
+	}
+}
+
+// errBody extracts the error message from a JSON error body, falling
+// back to the raw bytes.
+func errBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+func (c *Coordinator) markDown(m *member, cause error) {
+	if !m.down.Swap(true) {
+		c.logf("fabric: %s marked down: %v", m.name, cause)
+	}
+	m.up.Set(0)
+	c.refreshLive()
+}
+
+// Probe health-checks every member once, synchronously: a reachable
+// worker comes (back) up with its draining flag refreshed, an
+// unreachable one goes down. The heartbeat loop calls this on its
+// cadence; tests and a heartbeat-disabled coordinator call it directly.
+func (c *Coordinator) Probe(ctx context.Context) {
+	for _, m := range c.members {
+		h, err := c.probeOne(ctx, m)
+		if err != nil {
+			if !m.down.Swap(true) {
+				c.logf("fabric: %s failed heartbeat: %v", m.name, err)
+			}
+			m.up.Set(0)
+			continue
+		}
+		if m.down.Swap(false) {
+			c.logf("fabric: %s recovered", m.name)
+		}
+		m.draining.Store(h.Draining)
+		m.up.Set(1)
+	}
+	c.refreshLive()
+}
+
+func (c *Coordinator) probeOne(ctx context.Context, m *member) (*HealthStatus, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.name+"/fabric/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	h := &HealthStatus{}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(h); err != nil {
+		return nil, fmt.Errorf("malformed healthz: %w", err)
+	}
+	return h, nil
+}
+
+func (c *Coordinator) refreshLive() {
+	live := int64(0)
+	for _, m := range c.members {
+		if !m.down.Load() {
+			live++
+		}
+	}
+	c.live.Set(live)
+}
+
+func (c *Coordinator) heartbeatLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Probe(context.Background())
+		}
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, format+"\n", args...)
+	}
+}

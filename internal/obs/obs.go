@@ -55,6 +55,42 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
+// Gauge is a settable signed value — a level, not an accumulation:
+// queue depths, in-flight counts, worker liveness. All methods are safe
+// on a nil receiver (no-ops), like Counter.
+//
+// Gauges merge by summation (Merge/MergeSnapshot add the other side's
+// value), which composes level metrics recorded by disjoint owners —
+// per-worker in-flight gauges sum to the fleet's in-flight level. A
+// gauge shared between registries should live in exactly one of them.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // histBuckets is the fixed bucket count of a Histogram: bucket i holds
 // values whose bit length is i (bucket 0 holds only zero), i.e. buckets
 // are exponential with base 2 and cover the full uint64 range.
@@ -168,6 +204,7 @@ type Registry struct {
 
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	trace    traceRing
 }
@@ -187,6 +224,7 @@ func NewWith(o Options) *Registry {
 	r := &Registry{
 		traceCap: cap,
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		trace:    traceRing{cap: cap},
 	}
@@ -220,6 +258,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op gauge) when the registry is nil or disabled.
+func (r *Registry) Gauge(name string) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -268,6 +322,10 @@ func (r *Registry) Merge(o *Registry) {
 	for name, c := range o.counters {
 		counters[name] = c.Value()
 	}
+	gauges := make(map[string]int64, len(o.gauges))
+	for name, g := range o.gauges {
+		gauges[name] = g.Value()
+	}
 	hists := make(map[string]*Histogram, len(o.hists))
 	for name, h := range o.hists {
 		hists[name] = h
@@ -280,6 +338,9 @@ func (r *Registry) Merge(o *Registry) {
 	// namespace, so serial and parallel runs snapshot identical key sets.
 	for name, v := range counters {
 		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.Gauge(name).Add(v)
 	}
 	for name, h := range hists {
 		r.Histogram(name).merge(h)
@@ -308,6 +369,9 @@ func (r *Registry) MergeSnapshot(s *Snapshot) {
 	}
 	for name, v := range s.Counters {
 		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Add(v)
 	}
 	for name, hs := range s.Histograms {
 		r.Histogram(name).mergeSnapshot(hs)
@@ -361,6 +425,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]int64{}
+		}
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()

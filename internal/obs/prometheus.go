@@ -7,8 +7,9 @@ import (
 )
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (version 0.0.4): every counter as a `counter` metric and every
-// histogram as a `histogram` with cumulative `_bucket` series plus
+// format (version 0.0.4): every counter as a `counter` metric, every
+// gauge as a `gauge`, and every histogram as a `histogram` with
+// cumulative `_bucket` series plus
 // `_sum` and `_count`. Metric names are sanitized to the Prometheus
 // charset (dots and other separators become underscores), and series
 // are emitted in sorted name order so the output is deterministic.
@@ -22,6 +23,12 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range s.CounterNames() {
 		pn := PrometheusName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.GaugeNames() {
+		pn := PrometheusName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
 			return err
 		}
 	}

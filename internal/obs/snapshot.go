@@ -30,6 +30,7 @@ func (h HistogramSnapshot) Mean() float64 {
 // JSON (map keys sort) and is what flows into reports and files.
 type Snapshot struct {
 	Counters      map[string]uint64            `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Events        []Event                      `json:"events,omitempty"`
 	DroppedEvents uint64                       `json:"dropped_events,omitempty"`
@@ -39,6 +40,16 @@ type Snapshot struct {
 func (s *Snapshot) CounterNames() []string {
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the gauge names in sorted order.
+func (s *Snapshot) GaugeNames() []string {
+	names := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -58,6 +58,14 @@ type Config struct {
 	// (0 = DefaultMaxAttempts; 1 = no retry).
 	MaxAttempts int
 
+	// MaxRequeues bounds how many times one frame may be requeued after
+	// worker-loss failures (errors matching ErrWorkerLost) before such
+	// failures start counting as ordinary attempts. A lost worker never
+	// gave the frame a fair try, so requeues are free — this cap only
+	// keeps a permanently dead fleet from looping forever.
+	// 0 = DefaultMaxRequeues; negative = no free requeues.
+	MaxRequeues int
+
 	// BackoffBase and BackoffCap shape the capped exponential backoff
 	// between attempts: attempt k sleeps ~Base*2^(k-1), jittered
 	// deterministically from (Seed, frame, attempt), capped at Cap.
@@ -215,6 +223,10 @@ type Result struct {
 	Quarantined []QuarantineRecord
 	// Retried counts frames that needed more than one attempt.
 	Retried int
+	// Requeued counts worker-loss requeues across the run: dispatches
+	// that failed because the executing worker was lost and re-entered
+	// the pool without charging the frame an attempt.
+	Requeued int
 	// Resumed lists the frames restored from the checkpoint instead of
 	// simulated, in ascending order.
 	Resumed []int

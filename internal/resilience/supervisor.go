@@ -22,7 +22,16 @@ type runState struct {
 	records     map[int]FrameRecord
 	quarantined []QuarantineRecord
 	retried     int
+	requeued    int
 	saveErr     error
+}
+
+// requeue counts one worker-loss requeue (no checkpoint rewrite — no
+// frame state changed, the frame just re-enters the pool).
+func (s *runState) requeue() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requeued++
 }
 
 // record stores a completed frame and rewrites the checkpoint.
@@ -253,6 +262,7 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 	}
 
 	maxAttempts := cfg.maxAttempts()
+	maxRequeues := cfg.maxRequeues()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -269,6 +279,7 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 				}
 				frame := pending[i]
 				attempt := 0
+				requeues := 0
 				for {
 					attempt++
 					dog.beat(w, frame)
@@ -280,6 +291,21 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 					}
 					if ctx.Err() != nil {
 						return // cancelled: the frame stays incomplete, not quarantined
+					}
+					if IsWorkerLost(err) && requeues < maxRequeues {
+						// Losing the worker is not the frame's fault: requeue
+						// without charging an attempt, like quarantined work
+						// re-entering the pool, bounded by MaxRequeues.
+						requeues++
+						attempt--
+						state.requeue()
+						d := Backoff(cfg.BackoffBase, cfg.BackoffCap, cfg.Seed, frame, requeues)
+						logf(cfg.Log, "resilience: frame %d requeued after worker loss (%d/%d), retrying in %v: %v",
+							frame, requeues, maxRequeues, d, err)
+						if sleep(ctx, d) != nil {
+							return
+						}
+						continue
 					}
 					if attempt >= maxAttempts {
 						q := QuarantineRecord{Frame: frame, Attempts: attempt, Err: err.Error()}
@@ -307,6 +333,7 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 	completed := state.checkpointLocked()
 	saveErr := state.saveErr
 	retried := state.retried
+	requeued := state.requeued
 	state.mu.Unlock()
 
 	// Deterministic observability fold: the requested frames' deltas
@@ -329,6 +356,7 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 	}
 	res.Quarantined = completed.Quarantined
 	res.Retried = retried
+	res.Requeued = requeued
 	if dog != nil {
 		res.StalledWorkers = dog.stalled()
 	}

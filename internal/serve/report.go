@@ -22,6 +22,7 @@ type ResilienceSummary struct {
 	LostClusters  []int                     `json:"lost_clusters,omitempty"`
 	Resumed       []int                     `json:"resumed_frames,omitempty"`
 	Retried       int                       `json:"retried_frames,omitempty"`
+	Requeued      int                       `json:"requeued_frames,omitempty"`
 	Stalled       []int                     `json:"stalled_workers,omitempty"`
 	ResumeError   string                    `json:"resume_error,omitempty"`
 }
@@ -39,6 +40,7 @@ func NewResilienceSummary(rrun *megsim.ResilientRun) *ResilienceSummary {
 		Quarantined: sup.Quarantined,
 		Resumed:     sup.Resumed,
 		Retried:     sup.Retried,
+		Requeued:    sup.Requeued,
 		Stalled:     sup.StalledWorkers,
 	}
 	if d := rrun.Degradation; d != nil {
@@ -136,6 +138,9 @@ func (r *CampaignReport) writeSupervision(w io.Writer) {
 	}
 	if sum.Retried > 0 {
 		fmt.Fprintf(w, "retried:         %d frames needed more than one attempt\n", sum.Retried)
+	}
+	if sum.Requeued > 0 {
+		fmt.Fprintf(w, "requeued:        %d dispatches re-entered the pool after worker loss\n", sum.Requeued)
 	}
 	if len(sum.Stalled) > 0 {
 		fmt.Fprintf(w, "WARNING: watchdog flagged stalled workers %v\n", sum.Stalled)

@@ -32,10 +32,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,20 @@ import (
 	"repro/internal/obs"
 	"repro/megsim"
 )
+
+// Dispatcher is the seam coordinator mode plugs into: when Config
+// carries one, campaigns are still admitted, characterized, selected,
+// supervised, checkpointed and cached locally, but the frame function
+// the supervisor drives comes from the Dispatcher instead of the
+// in-process simulator. internal/fabric implements it over an HTTP
+// worker fleet. The returned function must honor FrameRunner's purity
+// contract: same fingerprint, same frame, same stats and observability.
+type Dispatcher interface {
+	// FrameRunner returns the frame function for the campaign identified
+	// by fp (its megsim.RunFingerprint). req carries the validated
+	// workload and GPU specs a remote worker needs to rebuild the trace.
+	FrameRunner(fp string, req *CampaignRequest) megsim.ResilientFrameFunc
+}
 
 // Config configures a Server. The zero value is usable: default queue
 // capacity and worker count, no checkpoint directory (drain then loses
@@ -61,6 +77,17 @@ type Config struct {
 	// MaxCachedFrames bounds the per-representative FrameStats cache
 	// (0 = DefaultMaxFrames).
 	MaxCachedFrames int
+	// Dispatcher, when non-nil, sources each campaign's frame function
+	// (coordinator mode); nil runs frames on the in-process simulator.
+	Dispatcher Dispatcher
+	// TenantRate enables per-tenant token-bucket admission: each tenant
+	// (the X-Megsim-Tenant header; empty = anonymous) refills at this
+	// many submissions per second, bursting to TenantBurst. Zero or
+	// negative disables tenant throttling.
+	TenantRate float64
+	// TenantBurst is the per-tenant bucket capacity (0 =
+	// DefaultTenantBurst). Only meaningful when TenantRate > 0.
+	TenantBurst int
 	// Obs is the service registry /metrics exports (nil = a fresh
 	// enabled metrics-only registry). Every job's observability merges
 	// into it.
@@ -77,12 +104,13 @@ const DefaultQueueCapacity = 64
 // Server is the campaign service. Create with New, expose via Handler,
 // stop with Drain.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *Cache
-	store *Store
-	queue *admissionQueue
-	mux   *http.ServeMux
+	cfg     Config
+	reg     *obs.Registry
+	cache   *Cache
+	store   *Store
+	queue   *admissionQueue
+	tenants *tenantLimiter
+	mux     *http.ServeMux
 
 	jobsCtx    context.Context
 	cancelJobs context.CancelFunc
@@ -91,9 +119,10 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
-	submitted, deduped, rejected     *obs.Counter
-	executed, completed, failed      *obs.Counter
-	degradedJobs, interrupted        *obs.Counter
+	submitted, deduped, rejected *obs.Counter
+	throttled                    *obs.Counter
+	executed, completed, failed  *obs.Counter
+	degradedJobs, interrupted    *obs.Counter
 }
 
 // New builds a Server and starts its worker pool.
@@ -116,11 +145,13 @@ func New(cfg Config) *Server {
 		cache:        NewCache(reg, cfg.MaxCachedFrames),
 		store:        NewStore(),
 		queue:        newAdmissionQueue(cfg.QueueCapacity),
+		tenants:      newTenantLimiter(cfg.TenantRate, cfg.TenantBurst, nil),
 		jobsCtx:      ctx,
 		cancelJobs:   cancel,
 		submitted:    reg.Counter("serve.jobs.submitted"),
 		deduped:      reg.Counter("serve.jobs.deduped"),
 		rejected:     reg.Counter("serve.jobs.rejected"),
+		throttled:    reg.Counter("serve.jobs.throttled"),
 		executed:     reg.Counter("serve.jobs.executed"),
 		completed:    reg.Counter("serve.jobs.completed"),
 		failed:       reg.Counter("serve.jobs.failed"),
@@ -262,7 +293,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*CampaignReport, error) {
 		return nil, err
 	}
 	fp := megsim.RunFingerprint(tr, gpu)
-	fn := s.cache.FrameRunner(fp, megsim.FrameRunner(tr, gpu))
+	inner := megsim.FrameRunner(tr, gpu)
+	if s.cfg.Dispatcher != nil {
+		inner = s.cfg.Dispatcher.FrameRunner(fp, req)
+	}
+	fn := s.cache.FrameRunner(fp, inner)
 
 	jobReg := obs.NewWith(obs.Options{TraceCapacity: -1})
 	rcfg := req.ResilienceConfig()
@@ -301,6 +336,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
+	if s.tenants != nil {
+		tenant := r.Header.Get(TenantHeader)
+		if ok, retry := s.tenants.Admit(tenant); !ok {
+			s.throttled.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("tenant %q over its submission rate; retry later", tenant))
+			return
+		}
+	}
 	req, err := DecodeCampaignRequest(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -317,12 +362,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.queue.TryEnqueue(j) {
 		s.store.Remove(j)
 		s.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.queue.Depth(), s.queue.Capacity(), fp)))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("admission queue full (capacity %d); retry later", s.queue.Capacity()))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, Fingerprint: fp, State: j.State()})
+}
+
+// retryAfterSeconds derives the 429 Retry-After from queue pressure: a
+// base that grows with depth/capacity (an emptier queue invites a
+// quicker retry) plus a small deterministic jitter keyed on the
+// campaign fingerprint, so a herd of synchronized clients rejected in
+// the same instant spreads its retries instead of re-stampeding. Pure
+// function of its inputs — the same rejection always gets the same
+// advice.
+func retryAfterSeconds(depth, capacity int, key string) int {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	base := 1 + (4*depth)/capacity // 1s empty .. 5s full
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return base + int(h.Sum32()%3) // +0..2s spread per campaign
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantHeader names the HTTP header carrying the submitting tenant's
+// identity. An absent or empty header is the anonymous tenant, which is
+// throttled as one tenant like any other.
+const TenantHeader = "X-Megsim-Tenant"
+
+// DefaultTenantBurst is the token-bucket capacity when Config enables
+// tenant throttling without setting a burst.
+const DefaultTenantBurst = 8
+
+// maxTenantBuckets bounds the lazily-created bucket map; when exceeded,
+// buckets that have refilled to full (indistinguishable from absent)
+// are swept. A hostile client cycling tenant names can therefore hold
+// at most this many partially-drained buckets at once.
+const maxTenantBuckets = 4096
+
+// tenantLimiter is per-tenant token-bucket admission, layered in front
+// of the shared admission queue: each tenant holds up to burst tokens,
+// refilled continuously at rate tokens/second, and one submission costs
+// one token. An empty bucket rejects with the number of whole seconds
+// until the next token — the Retry-After the server returns — so one
+// noisy tenant exhausts its own budget instead of the shared queue.
+type tenantLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+	now     func() time.Time // test seam
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTenantLimiter returns a limiter, or nil when rate <= 0 (tenant
+// throttling disabled). burst <= 0 selects DefaultTenantBurst.
+func newTenantLimiter(rate float64, burst int, now func() time.Time) *tenantLimiter {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil
+	}
+	if burst <= 0 {
+		burst = DefaultTenantBurst
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantLimiter{rate: rate, burst: float64(burst), buckets: map[string]*tenantBucket{}, now: now}
+}
+
+// Admit consumes one token for the tenant. When the bucket is empty it
+// returns ok=false and the whole-second wait until a token is available
+// (at least 1).
+func (l *tenantLimiter) Admit(tenant string) (ok bool, retryAfter int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenantBuckets {
+			l.sweepLocked(now)
+		}
+		b = &tenantBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.refill(now, l.rate, l.burst)
+	}
+	if b.tokens < 1 {
+		wait := (1 - b.tokens) / l.rate
+		return false, int(math.Ceil(math.Max(wait, 1)))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// refill advances the bucket to now.
+func (b *tenantBucket) refill(now time.Time, rate, burst float64) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+dt*rate)
+	}
+	b.last = now
+}
+
+// sweepLocked drops buckets that have refilled to full — absent and
+// full are indistinguishable, so forgetting them frees the map without
+// changing any tenant's budget.
+func (l *tenantLimiter) sweepLocked(now time.Time) {
+	for tenant, b := range l.buckets {
+		b.refill(now, l.rate, l.burst)
+		if b.tokens >= l.burst {
+			delete(l.buckets, tenant)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterDerivedFromDepth pins the Retry-After contract: the
+// advice is a pure function of (depth, capacity, key), grows with queue
+// pressure, and spreads distinct campaigns so synchronized clients do
+// not re-stampede in lockstep.
+func TestRetryAfterDerivedFromDepth(t *testing.T) {
+	const capacity = 64
+	// Deterministic: same inputs, same advice.
+	for i := 0; i < 3; i++ {
+		if a, b := retryAfterSeconds(10, capacity, "cmp-a"), retryAfterSeconds(10, capacity, "cmp-a"); a != b {
+			t.Fatalf("retryAfterSeconds not deterministic: %d vs %d", a, b)
+		}
+	}
+	// Monotone (non-decreasing) in depth, and a full queue advises a
+	// strictly longer wait than an empty one.
+	prev := 0
+	for depth := 0; depth <= capacity; depth++ {
+		got := retryAfterSeconds(depth, capacity, "cmp-a")
+		if got < prev {
+			t.Fatalf("retryAfterSeconds(depth=%d) = %d < %d at depth-1", depth, got, prev)
+		}
+		prev = got
+	}
+	if empty, full := retryAfterSeconds(0, capacity, "cmp-a"), retryAfterSeconds(capacity, capacity, "cmp-a"); full <= empty {
+		t.Fatalf("full queue advice %ds not above empty queue advice %ds", full, empty)
+	}
+	// Bounded: at least 1s, and jitter adds at most 2s over the base.
+	for depth := 0; depth <= capacity; depth++ {
+		for _, key := range []string{"", "cmp-a", "cmp-b", "cmp-0123456789abcdef"} {
+			got := retryAfterSeconds(depth, capacity, key)
+			base := 1 + (4*depth)/capacity
+			if got < 1 || got < base || got > base+2 {
+				t.Fatalf("retryAfterSeconds(%d, %d, %q) = %d outside [max(1,%d), %d]",
+					depth, capacity, key, got, base, base+2)
+			}
+		}
+	}
+	// Spread: across many keys the jitter must actually use more than
+	// one offset — a constant would re-stampede every rejected client.
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[retryAfterSeconds(5, capacity, "cmp-"+strconv.Itoa(i))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced a single value %v across 64 keys", seen)
+	}
+	// Degenerate inputs must not panic or go below 1.
+	if got := retryAfterSeconds(-3, 0, "x"); got < 1 {
+		t.Fatalf("degenerate inputs gave %d, want >= 1", got)
+	}
+}
+
+// TestTenantLimiterBucket drives the token bucket on a fake clock:
+// burst admissions, then rejection with a sane Retry-After, then refill
+// readmits — and tenants are isolated from each other.
+func TestTenantLimiterBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newTenantLimiter(1, 2, func() time.Time { return now })
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Admit("alice"); !ok {
+			t.Fatalf("burst admission %d rejected", i)
+		}
+	}
+	ok, retry := l.Admit("alice")
+	if ok {
+		t.Fatal("admission beyond burst accepted")
+	}
+	if retry < 1 || retry > 2 {
+		t.Fatalf("Retry-After = %d, want 1..2 at 1 token/s", retry)
+	}
+	// A different tenant still has its full burst.
+	if ok, _ := l.Admit("bob"); !ok {
+		t.Fatal("unrelated tenant throttled")
+	}
+	// Refill: one second restores one token for alice.
+	now = now.Add(time.Second)
+	if ok, _ := l.Admit("alice"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := l.Admit("alice"); ok {
+		t.Fatal("second admission after single-token refill accepted")
+	}
+}
+
+// TestTenantLimiterSweep: the bucket map stays bounded — when a bucket
+// refills to full it is indistinguishable from absent and gets swept,
+// while a still-draining tenant keeps its debt.
+func TestTenantLimiterSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newTenantLimiter(1, 4, func() time.Time { return now })
+	// Fill the map with one-shot tenants.
+	for i := 0; i < maxTenantBuckets; i++ {
+		l.Admit("drive-by-" + strconv.Itoa(i))
+	}
+	now = now.Add(time.Hour) // drive-bys refill to full
+	// The next unseen tenant finds the map at capacity and forces the
+	// sweep; every refilled-to-full drive-by is forgotten.
+	for i := 0; i < 4; i++ {
+		l.Admit("alice")
+	}
+	l.Admit("fresh")
+	l.mu.Lock()
+	n := len(l.buckets)
+	_, aliceKept := l.buckets["alice"]
+	l.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("bucket map not swept: %d entries", n)
+	}
+	if !aliceKept {
+		t.Fatal("sweep dropped a still-draining tenant")
+	}
+	if ok, _ := l.Admit("alice"); ok {
+		t.Fatal("alice's debt lost across the sweep")
+	}
+}
+
+// TestTenantThrottleHTTP exercises the header-to-429 path on an
+// admission-only server: a tenant over its rate gets 429 with
+// Retry-After before the body is even decoded, other tenants are
+// unaffected, and the throttle counter records it.
+func TestTenantThrottleHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: -1, TenantRate: 0.001, TenantBurst: 2})
+	body := serviceCampaignBody(1, "")
+	do := func(tenant string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/campaigns", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var msg json.RawMessage
+		json.NewDecoder(resp.Body).Decode(&msg)
+		return resp
+	}
+	if got := do("alice").StatusCode; got != http.StatusAccepted {
+		t.Fatalf("first submission: status %d", got)
+	}
+	// Identical campaign: admitted by the bucket, then deduped.
+	if got := do("alice").StatusCode; got != http.StatusOK {
+		t.Fatalf("deduped submission: status %d", got)
+	}
+	resp := do("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submission: status %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("throttled 429 Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	// The anonymous tenant has its own untouched bucket.
+	if got := do("").StatusCode; got != http.StatusOK {
+		t.Fatalf("anonymous submission: status %d (expected dedup 200)", got)
+	}
+	if got := s.throttled.Value(); got != 1 {
+		t.Fatalf("serve.jobs.throttled = %d, want 1", got)
+	}
+}

@@ -254,6 +254,7 @@ func mergeSupervision(dst, r *ResilienceResult, first bool) {
 	}
 	sort.Slice(dst.Quarantined, func(i, j int) bool { return dst.Quarantined[i].Frame < dst.Quarantined[j].Frame })
 	dst.Retried += r.Retried
+	dst.Requeued += r.Requeued
 	if first {
 		// Only round 0 reflects a user-requested resume; later rounds
 		// always "resume" the checkpoint this same call wrote.
