@@ -27,9 +27,9 @@ SERVE_COVER_FLOOR ?= 85
 # failover and byte-identity guarantees of cluster mode.
 FABRIC_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench bench-tbr bench-cluster bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench bench-tbr bench-cluster bench-check bench-smoke tile-bench-smoke fuzz-smoke
 
-ci: vet build race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench-smoke tile-bench-smoke fuzz-smoke
+ci: vet build race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -132,6 +132,36 @@ bench-cluster:
 	@mkdir -p results
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/cluster > results/BENCH_cluster.txt
 	$(GO) run ./cmd/benchjson -in results/BENCH_cluster.txt -out results/BENCH_cluster.json
+
+# Benchmark regression gate: rerun the tbr suite and compare against
+# the committed baseline with cmd/benchjson -check. Allocation counts
+# gate tightly (they are deterministic — a reintroduced per-tile
+# allocation fails regardless of machine weather); wall clock gates
+# primarily through the tile-workers=4 / serial ratio measured within
+# the SAME run, which cancels host-speed variation (shared CI hosts
+# have been observed to swing near 2x on an identical binary), plus a
+# deliberately generous absolute backstop for gross regressions. The
+# fresh run is left in results/BENCH_tbr.new.txt for benchstat
+# comparison against `jq -r '.raw[]' results/BENCH_tbr.json`.
+#
+# -max-alloc-growth 2.0: the frame benchmarks' allocs/op is fixed
+# setup amortized over a small, benchtime-dependent b.N, so it jitters
+# ~50-80; losing arena reuse jumps it to several hundred (the
+# pre-arena path measured ~547/op at tile-workers=4), which 2x of a
+# ~50-70 baseline still catches with an order of magnitude to spare.
+#
+# -max-ratio-growth 1.5: serial and tile-workers=4 run about a minute
+# apart inside one `go test` invocation, so the machine-weather window
+# can shift between them; +-25% ratio jitter has been observed on an
+# otherwise idle host. A hot-path-only 2x regression still lands the
+# ratio near 2x baseline, well past the 1.5x limit.
+bench-check:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/tbr/... > results/BENCH_tbr.new.txt
+	$(GO) run ./cmd/benchjson -check -baseline results/BENCH_tbr.json \
+		-ratio 'BenchmarkTileParallelRaster/tile-workers=4:BenchmarkTileParallelRaster/serial' \
+		-max-alloc-growth 2.0 -max-ratio-growth 1.5 \
+		-in results/BENCH_tbr.new.txt
 
 # One iteration of every benchmark: catches bitrot in the bench suite
 # without paying for stable measurements.

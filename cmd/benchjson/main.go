@@ -57,9 +57,17 @@ type File struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "read benchmark text from this file (default stdin)")
-		out = flag.String("out", "", "write JSON to this file (default stdout)")
+		in       = flag.String("in", "", "read benchmark text from this file (default stdin)")
+		out      = flag.String("out", "", "write JSON to this file (default stdout)")
+		check    = flag.Bool("check", false, "regression-check mode: compare the input run against -baseline and exit nonzero on failure")
+		baseline = flag.String("baseline", "", "committed JSON baseline to compare against (required with -check)")
+
+		maxSlowdown    = flag.Float64("max-slowdown", 2.5, "absolute ns/op gate: fail a benchmark above this factor of its baseline (generous: shared hosts are noisy)")
+		maxRatioGrowth = flag.Float64("max-ratio-growth", 1.25, "ratio gate: fail a -ratio pair whose same-run ratio grows above this factor of the baseline ratio")
+		maxAllocGrowth = flag.Float64("max-alloc-growth", 1.10, "allocs/op gate: fail a benchmark above this factor of its baseline (+1 alloc slack)")
+		ratios         ratioList
 	)
+	flag.Var(&ratios, "ratio", "hot-path ratio pair <numerator>:<denominator> checked against the baseline's ratio (repeatable; noise-immune primary gate)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -77,6 +85,21 @@ func main() {
 	}
 	if len(file.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *check {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-check requires -baseline"))
+		}
+		lim := checkLimits{
+			maxSlowdown:    *maxSlowdown,
+			maxRatioGrowth: *maxRatioGrowth,
+			maxAllocGrowth: *maxAllocGrowth,
+		}
+		if err := runCheck(*baseline, file, ratios, lim, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	w := io.Writer(os.Stdout)

@@ -53,16 +53,40 @@ type GeomStats struct {
 // testing is per-pixel) while avoiding the vertex-introduction
 // bookkeeping full clipping requires.
 func ProcessDraw(mesh *gltrace.Mesh, mvp geom.Mat4, vp geom.Viewport, depthBias float64, out []ScreenTriangle) ([]ScreenTriangle, GeomStats) {
+	return ProcessDrawScratch(mesh, mvp, vp, depthBias, out, nil)
+}
+
+// xformed is one transformed vertex of a draw.
+type xformed struct {
+	clip geom.Vec4
+	scr  geom.Vec3
+	ok   bool
+}
+
+// DrawScratch holds the per-draw transform buffer ProcessDrawScratch
+// reuses across draws, so a caller processing many draws (the timing
+// simulator's geometry pass) performs no per-draw allocation.
+type DrawScratch struct {
+	xf []xformed
+}
+
+// ProcessDrawScratch is ProcessDraw with an optional reusable scratch
+// buffer; a nil scratch allocates per call.
+func ProcessDrawScratch(mesh *gltrace.Mesh, mvp geom.Mat4, vp geom.Viewport, depthBias float64, out []ScreenTriangle, scr *DrawScratch) ([]ScreenTriangle, GeomStats) {
 	stats := GeomStats{VerticesIn: len(mesh.Vertices)}
 
 	// Transform every vertex once (vertex caching: real hardware also
 	// shades each indexed vertex once per draw).
-	type xformed struct {
-		clip geom.Vec4
-		scr  geom.Vec3
-		ok   bool
+	var xf []xformed
+	if scr != nil {
+		if cap(scr.xf) < len(mesh.Vertices) {
+			scr.xf = make([]xformed, len(mesh.Vertices))
+		}
+		scr.xf = scr.xf[:len(mesh.Vertices)]
+		xf = scr.xf
+	} else {
+		xf = make([]xformed, len(mesh.Vertices))
 	}
-	xf := make([]xformed, len(mesh.Vertices))
 	for i := range mesh.Vertices {
 		v := &mesh.Vertices[i]
 		c := mvp.MulVec4(v.Pos.ToVec4(1))
@@ -168,63 +192,21 @@ const sampleBias = 1.0 / 256
 // with clip (in pixels, max-exclusive), invoking fn for every quad with
 // at least one covered sample. Quads are emitted row-major, the scan
 // order of a hardware rasterizer.
+//
+// This is a callback adapter over QuadBatch.AppendQuads — the batched
+// SoA rasterizer is the single implementation — kept for consumers
+// (the functional simulator) that want per-quad delivery. The *Quad is
+// only valid for the duration of the callback.
 func RasterizeQuads(tri *ScreenTriangle, clip geom.AABB2, fn func(*Quad)) {
-	b := tri.Tri.Bounds().Intersect(clip)
-	if b.Empty() {
-		return
-	}
-	x0 := int(math.Floor(b.Min.X)) &^ 1
-	y0 := int(math.Floor(b.Min.Y)) &^ 1
-	x1 := int(math.Ceil(b.Max.X))
-	y1 := int(math.Ceil(b.Max.Y))
-	if x0 < 0 {
-		x0 = 0
-	}
-	if y0 < 0 {
-		y0 = 0
-	}
-
-	// Precompute edge functions for fast inside tests. Use the
-	// triangle's barycentric formulation directly.
-	t := &tri.Tri
-	xA, yA := t.V[0].X, t.V[0].Y
-	xB, yB := t.V[1].X, t.V[1].Y
-	xC, yC := t.V[2].X, t.V[2].Y
-	den := (yB-yC)*(xA-xC) + (xC-xB)*(yA-yC)
-	if math.Abs(den) < 1e-12 {
-		return
-	}
-	invDen := 1 / den
+	b := batchPool.Get().(*QuadBatch)
+	b.Reset()
+	b.AppendQuads(tri, clip)
 	var q Quad
-	for y := y0; y < y1; y += 2 {
-		for x := x0; x < x1; x += 2 {
-			q = Quad{X: x, Y: y}
-			for s := 0; s < 4; s++ {
-				px := float64(x+(s&1)) + 0.5 + sampleBias
-				py := float64(y+(s>>1)) + 0.5 + sampleBias
-				if px >= b.Max.X || py >= b.Max.Y || px < b.Min.X || py < b.Min.Y {
-					continue
-				}
-				l0 := ((yB-yC)*(px-xC) + (xC-xB)*(py-yC)) * invDen
-				l1 := ((yC-yA)*(px-xC) + (xA-xC)*(py-yC)) * invDen
-				l2 := 1 - l0 - l1
-				if l0 >= 0 && l1 >= 0 && l2 >= 0 {
-					q.Mask |= 1 << s
-					q.Depth[s] = l0*t.V[0].Z + l1*t.V[1].Z + l2*t.V[2].Z
-				}
-			}
-			if q.Mask != 0 {
-				cx := float64(x) + 1
-				cy := float64(y) + 1
-				l0 := ((yB-yC)*(cx-xC) + (xC-xB)*(cy-yC)) * invDen
-				l1 := ((yC-yA)*(cx-xC) + (xA-xC)*(cy-yC)) * invDen
-				l2 := 1 - l0 - l1
-				q.U = l0*tri.UV[0].X + l1*tri.UV[1].X + l2*tri.UV[2].X
-				q.V = l0*tri.UV[0].Y + l1*tri.UV[1].Y + l2*tri.UV[2].Y
-				fn(&q)
-			}
-		}
+	for i, n := 0, b.Len(); i < n; i++ {
+		q = b.Quad(i)
+		fn(&q)
 	}
+	batchPool.Put(b)
 }
 
 // DepthBuffer is a per-pixel depth buffer implementing the Early Z-Test.
@@ -241,10 +223,17 @@ func NewDepthBuffer(w, h int) *DepthBuffer {
 	return d
 }
 
-// Clear resets every pixel to the far plane.
+// Clear resets every pixel to the far plane. The doubling copy turns
+// the fill into memmove calls, which run at memory bandwidth instead of
+// one store per element.
 func (d *DepthBuffer) Clear() {
-	for i := range d.z {
-		d.z[i] = math.MaxFloat32
+	z := d.z
+	if len(z) == 0 {
+		return
+	}
+	z[0] = math.MaxFloat32
+	for i := 1; i < len(z); i *= 2 {
+		copy(z[i:], z[:i])
 	}
 }
 

@@ -26,12 +26,15 @@ func BenchmarkSimulateFrameObs(b *testing.B) {
 		{"on", obs.New()},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			// Construction stays outside the timed region; the loop
+			// measures steady-state frame simulation only.
 			cfg := tbr.DefaultConfig()
 			cfg.Obs = mode.reg
 			sim, err := tbr.New(cfg, tr)
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sim.SimulateFrame(frame)
@@ -60,6 +63,10 @@ func BenchmarkTileParallelRaster(b *testing.B) {
 			name = "serial"
 		}
 		b.Run(name, func(b *testing.B) {
+			// Simulator construction (cache arenas, shard contexts) stays
+			// outside the timed region, and allocs/op is reported: the
+			// arena-reused hot path's allocation budget is part of the
+			// bench-check regression gate.
 			cfg, err := tbr.Preset("highend")
 			if err != nil {
 				b.Fatal(err)
@@ -69,6 +76,7 @@ func BenchmarkTileParallelRaster(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sim.SimulateFrame(frame)

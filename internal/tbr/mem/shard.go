@@ -28,36 +28,38 @@ func (c ShardConfig) Validate() error {
 	return nil
 }
 
-// ShardStats aggregates one shard's counters (the texture caches are
-// summed). Fields add across shards, so the per-shard accumulators of a
-// tile-parallel run merge into frame totals by plain summation — an
-// order-independent operation over uint64, which is what makes the
-// merged statistics identical for every worker count.
+// ShardStats aggregates one shard's counters. TextureCache sums the
+// texture-cache units; TextureCacheUnits keeps the per-unit breakdown so
+// a tile-parallel fold can attribute counters to the matching simulator
+// unit instead of collapsing them into unit 0. Fields add across shards,
+// so the per-shard accumulators of a tile-parallel run merge into frame
+// totals by plain summation — an order-independent operation over
+// uint64, which is what makes the merged statistics identical for every
+// worker count.
 type ShardStats struct {
 	TileCache    CacheStats
 	TextureCache CacheStats
-	L2           CacheStats
-	DRAM         DRAMStats
+	// TextureCacheUnits is the per-unit breakdown of TextureCache,
+	// indexed like ShardConfig's texture caches.
+	TextureCacheUnits []CacheStats
+	L2                CacheStats
+	DRAM              DRAMStats
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s. Per-unit texture stats add index-wise; s
+// grows to o's unit count if it has fewer (a zero ShardStats is a valid
+// accumulator).
 func (s *ShardStats) Add(o ShardStats) {
-	addCacheStats(&s.TileCache, o.TileCache)
-	addCacheStats(&s.TextureCache, o.TextureCache)
-	addCacheStats(&s.L2, o.L2)
-	s.DRAM.Accesses += o.DRAM.Accesses
-	s.DRAM.Reads += o.DRAM.Reads
-	s.DRAM.Writes += o.DRAM.Writes
-	s.DRAM.RowHits += o.DRAM.RowHits
-	s.DRAM.RowMisses += o.DRAM.RowMisses
-	s.DRAM.BusyCycles += o.DRAM.BusyCycles
-}
-
-func addCacheStats(dst *CacheStats, src CacheStats) {
-	dst.Accesses += src.Accesses
-	dst.Hits += src.Hits
-	dst.Misses += src.Misses
-	dst.Writebacks += src.Writebacks
+	s.TileCache.Add(o.TileCache)
+	s.TextureCache.Add(o.TextureCache)
+	for len(s.TextureCacheUnits) < len(o.TextureCacheUnits) {
+		s.TextureCacheUnits = append(s.TextureCacheUnits, CacheStats{})
+	}
+	for i := range o.TextureCacheUnits {
+		s.TextureCacheUnits[i].Add(o.TextureCacheUnits[i])
+	}
+	s.L2.Add(o.L2)
+	s.DRAM.Add(o.DRAM)
 }
 
 // Shard is a private view of the raster-stage memory hierarchy for one
@@ -131,15 +133,18 @@ func (s *Shard) ResetStats() {
 	s.DRAM.ResetStats()
 }
 
-// Stats returns the shard's cumulative counters (texture caches summed).
+// Stats returns the shard's cumulative counters, with both the summed
+// texture-cache view and the per-unit breakdown.
 func (s *Shard) Stats() ShardStats {
 	st := ShardStats{
-		TileCache: s.TileCache.Stats,
-		L2:        s.L2.Stats,
-		DRAM:      s.DRAM.Stats,
+		TileCache:         s.TileCache.Stats,
+		L2:                s.L2.Stats,
+		DRAM:              s.DRAM.Stats,
+		TextureCacheUnits: make([]CacheStats, len(s.TextureCaches)),
 	}
-	for _, c := range s.TextureCaches {
-		addCacheStats(&st.TextureCache, c.Stats)
+	for i, c := range s.TextureCaches {
+		st.TextureCacheUnits[i] = c.Stats
+		st.TextureCache.Add(c.Stats)
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -33,7 +34,7 @@ type shardAccess struct {
 // replayGroup runs one unit of work (a tile's worth of accesses) on a
 // cold shard: ColdStart, replay, Flush — exactly the per-tile sequence
 // of the tile-parallel raster stage.
-func replayGroup(s *Shard, group []shardAccess) {
+func replayGroup(s *Shard, group []shardAccess) uint64 {
 	s.ColdStart()
 	clock := uint64(0)
 	for _, a := range group {
@@ -47,7 +48,7 @@ func replayGroup(s *Shard, group []shardAccess) {
 			clock = s.L2.Access(clock, a.addr, a.write)
 		}
 	}
-	s.Flush(clock)
+	return s.Flush(clock)
 }
 
 // TestShardMergeMatchesSerial is the shard-merge property test: on
@@ -100,7 +101,7 @@ func TestShardMergeMatchesSerial(t *testing.T) {
 				for _, s := range shards {
 					got.Add(s.Stats())
 				}
-				if got != want {
+				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("shards=%d: summed stats diverge from serial:\n%+v\nvs\n%+v",
 						numShards, got, want)
 				}
@@ -149,6 +150,9 @@ func TestShardColdStartIsolation(t *testing.T) {
 	}
 	sub(&delta.TileCache, &before.TileCache)
 	sub(&delta.TextureCache, &before.TextureCache)
+	for i := range before.TextureCacheUnits {
+		sub(&delta.TextureCacheUnits[i], &before.TextureCacheUnits[i])
+	}
 	sub(&delta.L2, &before.L2)
 	delta.DRAM.Accesses -= before.DRAM.Accesses
 	delta.DRAM.Reads -= before.DRAM.Reads
@@ -156,7 +160,67 @@ func TestShardColdStartIsolation(t *testing.T) {
 	delta.DRAM.RowHits -= before.DRAM.RowHits
 	delta.DRAM.RowMisses -= before.DRAM.RowMisses
 	delta.DRAM.BusyCycles -= before.DRAM.BusyCycles
-	if delta != want {
+	if !reflect.DeepEqual(delta, want) {
 		t.Fatalf("ColdStart did not isolate the stream from prior work:\n%+v\nvs\n%+v", delta, want)
+	}
+}
+
+// TestShardReuseTimingIsolation pins the arena-reuse contract at the
+// timing level: ColdStart invalidates by bumping the line-liveness
+// epoch rather than zeroing arrays, so the line arenas still hold
+// stale tags, LRU stamps and dirty bits from the previous tile. A
+// stream replayed on such a dirtied-then-ColdStarted shard must
+// nevertheless finish at exactly the clock a factory-fresh shard
+// reports — if any stale line were still considered live (or a stale
+// dirty bit triggered a writeback), the hit/miss pattern and therefore
+// the final cycle would shift.
+func TestShardReuseTimingIsolation(t *testing.T) {
+	cfg := testShardConfig()
+	rng := rand.New(rand.NewSource(11))
+	stream := make([]shardAccess, 600)
+	for i := range stream {
+		stream[i] = shardAccess{
+			unit:  rng.Intn(cfg.NumTextureCaches + 2),
+			addr:  uint64(rng.Intn(1 << 16)),
+			write: rng.Intn(4) == 0,
+		}
+	}
+
+	fresh := NewShard(cfg)
+	want := replayGroup(fresh, stream)
+
+	reused := NewShard(cfg)
+	// Dirty every level: all-write traffic over the same address range
+	// as the probe stream, so stale tags would alias if resurrected.
+	prior := make([]shardAccess, 400)
+	for i := range prior {
+		prior[i] = shardAccess{unit: rng.Intn(cfg.NumTextureCaches + 2), addr: uint64(rng.Intn(1 << 16)), write: true}
+	}
+	replayGroup(reused, prior)
+	if got := replayGroup(reused, stream); got != want {
+		t.Fatalf("dirtied-then-ColdStarted shard finished at cycle %d, fresh shard at %d", got, want)
+	}
+}
+
+// TestShardTileSequenceDoesNotAllocate pins the other half of the
+// arena-reuse contract: the whole per-tile sequence — ColdStart,
+// access replay, Flush — runs without a single heap allocation once
+// the shard is built. ColdStart invalidating by epoch bump (not by
+// reallocating line arrays) is what the tile-parallel hot loop's
+// allocs/op budget depends on.
+func TestShardTileSequenceDoesNotAllocate(t *testing.T) {
+	cfg := testShardConfig()
+	rng := rand.New(rand.NewSource(13))
+	stream := make([]shardAccess, 200)
+	for i := range stream {
+		stream[i] = shardAccess{
+			unit:  rng.Intn(cfg.NumTextureCaches + 2),
+			addr:  uint64(rng.Intn(1 << 15)),
+			write: rng.Intn(3) == 0,
+		}
+	}
+	s := NewShard(cfg)
+	if allocs := testing.AllocsPerRun(20, func() { replayGroup(s, stream) }); allocs != 0 {
+		t.Fatalf("per-tile sequence allocated %.1f times per run, want 0", allocs)
 	}
 }

@@ -29,6 +29,16 @@ type Stats struct {
 	StallCycles uint64
 }
 
+// Add accumulates o into s. Every exported field must be summed here:
+// the tile-parallel raster fold merges per-worker queue counters through
+// this method, so a field omitted from Add would silently vanish from
+// frame statistics (a reflection test enforces the invariant).
+func (s *Stats) Add(o Stats) {
+	s.Admitted += o.Admitted
+	s.Stalls += o.Stalls
+	s.StallCycles += o.StallCycles
+}
+
 // Queue is a bounded FIFO of in-flight pipeline items.
 type Queue struct {
 	name    string
@@ -79,20 +89,12 @@ func (q *Queue) Instrument(r *obs.Registry) {
 // Admit must be followed by exactly one Commit.
 func (q *Queue) Admit(ready uint64) uint64 {
 	if q.pending {
-		panic(fmt.Sprintf("queue %q: Admit called with a Commit pending", q.name))
+		q.panicPendingAdmit()
 	}
 	q.pending = true
 	q.Stats.Admitted++
 	if q.obsOccupancy != nil {
-		// Occupancy at admit time: slots whose occupant has not left by
-		// the cycle the new item is ready.
-		occupied := uint64(0)
-		for _, done := range q.doneAt {
-			if done > ready {
-				occupied++
-			}
-		}
-		q.obsOccupancy.Observe(occupied)
+		q.observeOccupancy(ready)
 	}
 	free := q.doneAt[q.head]
 	enter := ready
@@ -105,6 +107,23 @@ func (q *Queue) Admit(ready uint64) uint64 {
 		q.verifyAdmit(enter)
 	}
 	return enter
+}
+
+//go:noinline
+func (q *Queue) panicPendingAdmit() {
+	panic(fmt.Sprintf("queue %q: Admit called with a Commit pending", q.name))
+}
+
+// observeOccupancy samples the occupancy at admit time: slots whose
+// occupant has not left by the cycle the new item is ready.
+func (q *Queue) observeOccupancy(ready uint64) {
+	occupied := uint64(0)
+	for _, done := range q.doneAt {
+		if done > ready {
+			occupied++
+		}
+	}
+	q.obsOccupancy.Observe(occupied)
 }
 
 // EnableInvariantCheck arms the occupancy invariant: every Admit
@@ -130,7 +149,7 @@ func (q *Queue) verifyAdmit(enter uint64) {
 // queue at cycle done.
 func (q *Queue) Commit(done uint64) {
 	if !q.pending {
-		panic(fmt.Sprintf("queue %q: Commit without Admit", q.name))
+		q.panicCommitWithoutAdmit()
 	}
 	q.pending = false
 	q.doneAt[q.head] = done
@@ -138,6 +157,11 @@ func (q *Queue) Commit(done uint64) {
 	if q.head == len(q.doneAt) {
 		q.head = 0
 	}
+}
+
+//go:noinline
+func (q *Queue) panicCommitWithoutAdmit() {
+	panic(fmt.Sprintf("queue %q: Commit without Admit", q.name))
 }
 
 // Reset empties the queue and zeroes statistics.

@@ -1,0 +1,52 @@
+package queue
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Admitted: 1, Stalls: 2, StallCycles: 3}
+	a.Add(Stats{Admitted: 10, Stalls: 20, StallCycles: 30})
+	want := Stats{Admitted: 11, Stalls: 22, StallCycles: 33}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// TestStatsAddSumsEveryField enforces the fold contract stated on
+// Stats.Add: every exported field must be summed. It constructs two
+// Stats values with distinct field values via reflection, adds them,
+// and checks each field of the result equals the sum of its inputs —
+// so a field added to Stats but forgotten in Add fails here instead of
+// silently vanishing from tile-parallel frame statistics.
+func TestStatsAddSumsEveryField(t *testing.T) {
+	mk := func(base uint64) Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() != reflect.Uint64 {
+				t.Fatalf("Stats field %s is %s; extend this test for non-uint64 fields",
+					v.Type().Field(i).Name, f.Kind())
+			}
+			// Distinct per-field values so a transposed assignment in
+			// Add (summing field j into field i) is also caught.
+			f.SetUint(base + uint64(i+1))
+		}
+		return s
+	}
+	a, b := mk(100), mk(2000)
+	got := a
+	got.Add(b)
+
+	va, vb, vg := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(got)
+	for i := 0; i < vg.NumField(); i++ {
+		name := vg.Type().Field(i).Name
+		want := va.Field(i).Uint() + vb.Field(i).Uint()
+		if vg.Field(i).Uint() != want {
+			t.Errorf("Add dropped or miscombined field %s: got %d, want %d",
+				name, vg.Field(i).Uint(), want)
+		}
+	}
+}

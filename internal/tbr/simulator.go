@@ -3,6 +3,7 @@ package tbr
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/geom"
 	"repro/internal/gltrace"
@@ -43,10 +44,16 @@ type Simulator struct {
 	fragmentQ *queue.Queue
 	colorQ    *queue.Queue
 
-	// Precomputed shader costs and texture instruction lists.
+	// Precomputed shader cost tables: per-program instruction counts and
+	// texture instruction lists with all per-fetch constants resolved at
+	// construction (see fsTable), so the fragment loop does no repeated
+	// conversion, modulo or coordinate-offset work.
 	vsCost []shader.Cost
-	fsCost []shader.Cost
-	fsTex  [][]texFetch
+	fsTab  []fsTable
+
+	// texLineShift is log2 of the texture-cache line size (validated a
+	// power of two), so the texture chain's line dedup uses shifts.
+	texLineShift uint
 
 	// Resource base addresses.
 	meshBase []uint64
@@ -56,12 +63,13 @@ type Simulator struct {
 	tilesX, tilesY int
 
 	// Reused per-frame buffers.
-	depth  *raster.DepthBuffer
-	tris   []boundTri
-	bins   [][]int32 // per tile: indices into tris
-	binRec [][]uint64
-	vpFree []uint64
-	triBuf []raster.ScreenTriangle
+	depth       *raster.DepthBuffer
+	tris        []boundTri
+	bins        [][]int32 // per tile: indices into tris
+	binRec      [][]uint64
+	vpFree      []uint64
+	triBuf      []raster.ScreenTriangle
+	drawScratch raster.DrawScratch
 
 	// serial is the raster execution context of the classic
 	// one-tile-at-a-time mode (TileWorkers == 0), wired to the
@@ -146,10 +154,39 @@ func (qo *queueObs) record() {
 	qo.stallCycles.Add(d.StallCycles - qo.start.StallCycles)
 }
 
-// deferredQuad is a depth-surviving quad awaiting the HSR shade pass.
-type deferredQuad struct {
-	q   raster.Quad
-	tri int32
+// quadSoA is a struct-of-arrays list of quads awaiting a later shade
+// pass (the TBDR deferred and transparency queues). Quad i occupies
+// x[i], y[i], mask[i], u[i], v[i], tri[i] and depth[4i:4i+4]; the
+// backing arrays are reused across tiles.
+type quadSoA struct {
+	x, y  []int32
+	mask  []uint8
+	depth []float64
+	u, v  []float64
+	tri   []int32
+}
+
+func (l *quadSoA) reset() {
+	l.x = l.x[:0]
+	l.y = l.y[:0]
+	l.mask = l.mask[:0]
+	l.depth = l.depth[:0]
+	l.u = l.u[:0]
+	l.v = l.v[:0]
+	l.tri = l.tri[:0]
+}
+
+func (l *quadSoA) len() int { return len(l.mask) }
+
+// appendFrom copies quad i of b, tagged with its triangle index.
+func (l *quadSoA) appendFrom(b *raster.QuadBatch, i int, tri int32) {
+	l.x = append(l.x, b.X[i])
+	l.y = append(l.y, b.Y[i])
+	l.mask = append(l.mask, b.Mask[i])
+	l.depth = append(l.depth, b.Depth[i*4:i*4+4]...)
+	l.u = append(l.u, b.U[i])
+	l.v = append(l.v, b.V[i])
+	l.tri = append(l.tri, tri)
 }
 
 // rasterCtx is the execution context of the Raster Pipeline: the units
@@ -171,14 +208,33 @@ type rasterCtx struct {
 	colorQ    *queue.Queue
 	fpFree    []uint64
 
+	// batch is the per-triangle rasterization scratch: AppendQuads fills
+	// it, the fragment loop iterates its flat slices, and the backing
+	// arrays are reused for every triangle of every tile.
+	batch raster.QuadBatch
+
 	// Deferred-shading (TBDR) buffers, reused per tile.
-	deferred    []deferredQuad
-	transparent []deferredQuad
+	deferred    quadSoA
+	transparent quadSoA
 	shadedPix   []bool
 
 	// fpEnd is the completion cycle of the latest shaded quad seen on
 	// this context since it was last rewound.
 	fpEnd uint64
+
+	// texMemo caches the per-texture constants textureChain derives
+	// from the bound texture. A draw binds one texture, so consecutive
+	// quads nearly always hit; the values are pure functions of the
+	// immutable trace, so the memo survives tile and frame boundaries.
+	texMemo struct {
+		ok     bool
+		tex    int32
+		base   uint64
+		mip    uint64 // second mip level base (past the base image)
+		w, h   int
+		fw, fh float64
+		bpt    int
+	}
 }
 
 // boundTri is a visible screen triangle with the state it was drawn
@@ -190,11 +246,23 @@ type boundTri struct {
 	blend bool  // alpha-blended draw: depth-test only, no depth write
 }
 
-// texFetch is one texture instruction of a fragment shader.
+// texFetch is one texture instruction of a fragment shader, with every
+// per-fetch constant the texture chain needs resolved at construction:
+// the texture-cache unit (sampler modulo unit count), the filter's
+// logical tap count, and the sampler's UV perturbation offsets.
 type texFetch struct {
 	sampler int
 	filter  shader.FilterMode
-	taps    int
+	taps    uint64
+	unit    int     // sampler % NumTextureCaches
+	du, dv  float64 // float64(sampler)*0.37, float64(sampler)*0.19
+}
+
+// fsTable is the precomputed cost table of one fragment shader: the
+// per-quad instruction charge and the resolved texture fetch list.
+type fsTable struct {
+	instrs uint64
+	tex    []texFetch
 }
 
 // New builds a simulator for the trace. The trace must validate.
@@ -231,8 +299,15 @@ func New(cfg Config, trace *gltrace.Trace) (*Simulator, error) {
 		s.vsCost = append(s.vsCost, p.DynamicCost())
 	}
 	for _, p := range trace.FragmentShaders {
-		s.fsCost = append(s.fsCost, p.DynamicCost())
-		s.fsTex = append(s.fsTex, texFetches(p))
+		cost := p.DynamicCost()
+		s.fsTab = append(s.fsTab, fsTable{
+			instrs: uint64(cost.Instructions),
+			tex:    texFetches(p, cfg.NumTextureCaches),
+		})
+	}
+	// TextureCache.LineBytes is validated a power of two by NewCache.
+	for 1<<s.texLineShift < cfg.TextureCache.LineBytes {
+		s.texLineShift++
 	}
 
 	// Lay out resources.
@@ -300,7 +375,7 @@ func align(a uint64, to uint64) uint64 {
 	return (a + to - 1) &^ (to - 1)
 }
 
-func texFetches(p *shader.Program) []texFetch {
+func texFetches(p *shader.Program, numTextureCaches int) []texFetch {
 	var out []texFetch
 	var walk func(code []shader.Instr, mult int)
 	walk = func(code []shader.Instr, mult int) {
@@ -312,7 +387,10 @@ func texFetches(p *shader.Program) []texFetch {
 					out = append(out, texFetch{
 						sampler: in.Sampler,
 						filter:  in.Filter,
-						taps:    in.Filter.MemAccesses(),
+						taps:    uint64(in.Filter.MemAccesses()),
+						unit:    in.Sampler % numTextureCaches,
+						du:      float64(in.Sampler) * 0.37,
+						dv:      float64(in.Sampler) * 0.19,
 					})
 				}
 			case shader.OpIf:
@@ -580,7 +658,7 @@ func (s *Simulator) geometryPass(st *FrameStats) uint64 {
 			// Geometry processing (visibility) is computed by the
 			// shared rasterizer front end; timing is charged below.
 			s.triBuf = s.triBuf[:0]
-			tris, gstats := raster.ProcessDraw(mesh, cmd.MVP, vp, cmd.DepthBias, s.triBuf)
+			tris, gstats := raster.ProcessDrawScratch(mesh, cmd.MVP, vp, cmd.DepthBias, s.triBuf, &s.drawScratch)
 			s.triBuf = tris[:0]
 			st.PrimsIn += uint64(gstats.PrimsIn)
 			st.PrimsVisible += uint64(gstats.Visible)
@@ -740,30 +818,39 @@ func (c *rasterCtx) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 		c.fpFree[i] = clock
 	}
 
+	b := &c.batch
 	for bi, triIdx := range s.bins[bin] {
 		bt := &s.tris[triIdx]
 		// Read the primitive record through the tile cache.
 		listClock++
 		listDone := c.tilecache.Access(listClock, s.binRec[bin][bi], false)
 
-		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
+		// Rasterize the triangle's quads into the SoA batch (pure
+		// arithmetic, no timing state), then run the fragment pipeline
+		// over the flat slices.
+		b.Reset()
+		b.AppendQuads(&bt.tri, clip)
+		for qi, n := 0, b.Len(); qi < n; qi++ {
 			st.QuadsRasterized++
 			rastClock = maxU(rastClock+1, listDone)
 			// Early Z at 1 quad/cycle; back-pressure comes from the
 			// fragment queue below.
 			ezClock = maxU(ezClock+1, rastClock)
-			covered := q.Coverage()
+			mask := b.Mask[qi]
+			covered := bits.OnesCount8(mask)
+			depth := b.Depth[qi*4 : qi*4+4]
+			var survive uint8
 			if bt.blend {
-				q.Mask = s.depth.TestQuadReadOnly(q)
+				survive = s.depth.TestMaskReadOnly(int(b.X[qi]), int(b.Y[qi]), depth, mask)
 			} else {
-				q.Mask = s.depth.TestQuad(q)
+				survive = s.depth.TestMask(int(b.X[qi]), int(b.Y[qi]), depth, mask)
 			}
-			alive := q.Coverage()
+			alive := bits.OnesCount8(survive)
 			st.FragmentsOccluded += uint64(covered - alive)
 			if alive == 0 {
-				return
+				continue
 			}
-			fpDone := c.shadeQuad(st, bt, q, ezClock, alive)
+			fpDone := c.shadeQuad(st, bt, b.U[qi], b.V[qi], ezClock, alive)
 			// Blending into the on-chip color buffer.
 			cEnter := c.colorQ.Admit(fpDone)
 			blendClock = maxU(blendClock+1, cEnter)
@@ -772,7 +859,7 @@ func (c *rasterCtx) immediateTile(st *FrameStats, bin int, clip geom.AABB2, cloc
 			if blendClock > tileDone {
 				tileDone = blendClock
 			}
-		})
+		}
 	}
 
 	c.noteFPEnd(st.FragmentsShaded - shaded0)
@@ -798,32 +885,39 @@ func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	for i := range c.fpFree {
 		c.fpFree[i] = clock
 	}
-	c.deferred = c.deferred[:0]
-	c.transparent = c.transparent[:0]
+	c.deferred.reset()
+	c.transparent.reset()
 
 	// Pass 1: HSR — rasterize and depth-test all opaque geometry; no
 	// shading. Alpha-blended quads cannot participate in hidden-surface
 	// removal (they do not occlude); they are queued for the
 	// transparency pass after the opaque depth is resolved.
 	var covered uint64
+	b := &c.batch
 	for bi, triIdx := range s.bins[bin] {
 		bt := &s.tris[triIdx]
 		listClock++
 		listDone := c.tilecache.Access(listClock, s.binRec[bin][bi], false)
-		raster.RasterizeQuads(&bt.tri, clip, func(q *raster.Quad) {
+		b.Reset()
+		b.AppendQuads(&bt.tri, clip)
+		for qi, n := 0, b.Len(); qi < n; qi++ {
 			st.QuadsRasterized++
 			rastClock = maxU(rastClock+1, listDone)
 			ezClock = maxU(ezClock+1, rastClock)
-			covered += uint64(q.Coverage())
+			mask := b.Mask[qi]
+			covered += uint64(bits.OnesCount8(mask))
 			if bt.blend {
-				c.transparent = append(c.transparent, deferredQuad{q: *q, tri: triIdx})
-				return
+				c.transparent.appendFrom(b, qi, triIdx)
+				continue
 			}
-			if s.depth.TestQuad(q) == 0 {
-				return // already behind a resolved surface
+			depth := b.Depth[qi*4 : qi*4+4]
+			if s.depth.TestMask(int(b.X[qi]), int(b.Y[qi]), depth, mask) == 0 {
+				continue // already behind a resolved surface
 			}
-			c.deferred = append(c.deferred, deferredQuad{q: *q, tri: triIdx})
-		})
+			// Stored with the full rasterized mask: pass 2 re-derives
+			// visibility from the resolved depth, as before.
+			c.deferred.appendFrom(b, qi, triIdx)
+		}
 	}
 	hsrDone := maxU(rastClock, ezClock)
 
@@ -841,18 +935,21 @@ func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 
 	issue := hsrDone
 	var shadedFrags uint64
-	for di := range c.deferred {
-		d := &c.deferred[di]
-		bt := &s.tris[d.tri]
+	for di, n := 0, c.deferred.len(); di < n; di++ {
+		bt := &s.tris[c.deferred.tri[di]]
+		qx := int(c.deferred.x[di])
+		qy := int(c.deferred.y[di])
+		mask := c.deferred.mask[di]
+		depth := c.deferred.depth[di*4 : di*4+4]
 		var visible uint8
 		for smp := 0; smp < 4; smp++ {
-			if d.q.Mask&(1<<smp) == 0 {
+			if mask&(1<<smp) == 0 {
 				continue
 			}
-			x := d.q.X + (smp & 1)
-			y := d.q.Y + (smp >> 1)
+			x := qx + (smp & 1)
+			y := qy + (smp >> 1)
 			// The buffer stores float32; compare at that precision.
-			if float32(s.depth.At(x, y)) != float32(d.q.Depth[smp]) {
+			if float32(s.depth.At(x, y)) != float32(depth[smp]) {
 				continue
 			}
 			pi := (y-ty0)*s.cfg.TileSize + (x - tx0)
@@ -865,11 +962,10 @@ func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 		if visible == 0 {
 			continue
 		}
-		d.q.Mask = visible
-		alive := d.q.Coverage()
+		alive := bits.OnesCount8(visible)
 		shadedFrags += uint64(alive)
 		issue++
-		fpDone := c.shadeQuad(st, bt, &d.q, issue, alive)
+		fpDone := c.shadeQuad(st, bt, c.deferred.u[di], c.deferred.v[di], issue, alive)
 		cEnter := c.colorQ.Admit(fpDone)
 		blendClock = maxU(blendClock+1, cEnter)
 		c.colorQ.Commit(blendClock)
@@ -881,18 +977,17 @@ func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 	// Pass 3: transparency — blended quads test against the final
 	// opaque depth (read-only) and shade in submission order; multiple
 	// transparent layers over a pixel all shade (they stack).
-	for di := range c.transparent {
-		d := &c.transparent[di]
-		bt := &s.tris[d.tri]
-		visible := s.depth.TestQuadReadOnly(&d.q)
+	for di, n := 0, c.transparent.len(); di < n; di++ {
+		bt := &s.tris[c.transparent.tri[di]]
+		depth := c.transparent.depth[di*4 : di*4+4]
+		visible := s.depth.TestMaskReadOnly(int(c.transparent.x[di]), int(c.transparent.y[di]), depth, c.transparent.mask[di])
 		if visible == 0 {
 			continue
 		}
-		d.q.Mask = visible
-		alive := d.q.Coverage()
+		alive := bits.OnesCount8(visible)
 		shadedFrags += uint64(alive)
 		issue++
-		fpDone := c.shadeQuad(st, bt, &d.q, issue, alive)
+		fpDone := c.shadeQuad(st, bt, c.transparent.u[di], c.transparent.v[di], issue, alive)
 		cEnter := c.colorQ.Admit(fpDone)
 		blendClock = maxU(blendClock+1, cEnter)
 		c.colorQ.Commit(blendClock)
@@ -912,36 +1007,78 @@ func (c *rasterCtx) deferredTile(st *FrameStats, bin int, clip geom.AABB2, clock
 
 // shadeQuad dispatches one surviving quad to the least-loaded fragment
 // processor, charging ALU time and the texture-fetch chain, and returns
-// the completion cycle. alive is the covered-fragment count of q.
-func (c *rasterCtx) shadeQuad(st *FrameStats, bt *boundTri, q *raster.Quad, ready uint64, alive int) uint64 {
+// the completion cycle. u, v are the quad-center texture coordinates;
+// alive is the quad's covered-fragment count.
+func (c *rasterCtx) shadeQuad(st *FrameStats, bt *boundTri, u, v float64, ready uint64, alive int) uint64 {
 	s := c.sim
-	fsCost := s.fsCost[bt.fs]
-	fsTex := s.fsTex[bt.fs]
+	tab := &s.fsTab[bt.fs]
 	st.FragmentsShaded += uint64(alive)
 	// Each live fragment executes the program on its own SIMD lane; the
 	// quad occupies the processor for Instructions cycles regardless of
 	// coverage.
-	st.FSInstrs += uint64(alive) * uint64(fsCost.Instructions)
+	st.FSInstrs += uint64(alive) * tab.instrs
 
 	enter := c.fragmentQ.Admit(ready)
-	fpi := 0
-	for i := 1; i < len(c.fpFree); i++ {
-		if c.fpFree[i] < c.fpFree[fpi] {
-			fpi = i
+	// Least-loaded dispatch: argmin with lowest-index tie-break, the
+	// min carried in a register so the scan has no serial memory
+	// dependence through fpi.
+	fp := c.fpFree
+	var fpi int
+	var minFree uint64
+	if len(fp) == 8 {
+		// Pairwise tournament for the common 8-FP configuration: four
+		// independent leaf compares, then two, then one — dependence
+		// depth 3 instead of a 7-deep serial chain. Strict < keeps the
+		// left (lower-index) side on ties at every level, so the
+		// lowest-index tie-break is preserved exactly.
+		_ = fp[7]
+		i0, m0 := 0, fp[0]
+		if fp[1] < m0 {
+			i0, m0 = 1, fp[1]
+		}
+		i1, m1 := 2, fp[2]
+		if fp[3] < m1 {
+			i1, m1 = 3, fp[3]
+		}
+		i2, m2 := 4, fp[4]
+		if fp[5] < m2 {
+			i2, m2 = 5, fp[5]
+		}
+		i3, m3 := 6, fp[6]
+		if fp[7] < m3 {
+			i3, m3 = 7, fp[7]
+		}
+		if m1 < m0 {
+			i0, m0 = i1, m1
+		}
+		if m3 < m2 {
+			i2, m2 = i3, m3
+		}
+		fpi, minFree = i0, m0
+		if m2 < m0 {
+			fpi, minFree = i2, m2
+		}
+	} else {
+		minFree = fp[0]
+		for i := 1; i < len(fp); i++ {
+			if v := fp[i]; v < minFree {
+				minFree = v
+				fpi = i
+			}
 		}
 	}
-	fpStart := maxU(enter, c.fpFree[fpi])
+	fpStart := maxU(enter, minFree)
 
 	// Texture fetches: taps coalesce to distinct cache lines within the
 	// quad's footprint.
 	texDone := fpStart
-	if len(fsTex) > 0 {
-		texDone = c.textureChain(fpStart, bt.tex, fsTex, q, st)
+	if len(tab.tex) > 0 {
+		texDone = c.textureChain(fpStart, bt.tex, tab.tex, u, v, st)
 	}
-	aluDone := fpStart + uint64(fsCost.Instructions)
+	aluDone := fpStart + tab.instrs
 	fpDone := maxU(aluDone, texDone)
 	st.FPBusyCycles += fpDone - fpStart
-	c.fpFree[fpi] = fpDone
+	fp[fpi] = fpDone
 	c.fragmentQ.Commit(fpDone)
 	return fpDone
 }
@@ -965,80 +1102,99 @@ func (c *rasterCtx) noteFPEnd(shaded uint64) {
 	}
 }
 
+// texelAddr returns the address of texel (x, y) of a w x h texture at
+// base, clamping overshooting coordinates to the edge (UV wrapping
+// guarantees they are never negative).
+func texelAddr(base uint64, x, y, w, h, bytesPerTexel int) uint64 {
+	if x >= w {
+		x = w - 1
+	}
+	if y >= h {
+		y = h - 1
+	}
+	return base + uint64((y*w+x)*bytesPerTexel)
+}
+
+// addLine appends line index ln to lines[:n] unless already present,
+// returning the new count. The 3-entry set is the per-fetch cache-line
+// footprint (at most 3 taps per filter).
+func addLine(lines *[3]uint64, n int, ln uint64) int {
+	for i := 0; i < n; i++ {
+		if lines[i] == ln {
+			return n
+		}
+	}
+	if n < len(lines) {
+		lines[n] = ln
+		n++
+	}
+	return n
+}
+
 // textureChain issues the texture accesses of one shaded quad and
 // returns the completion cycle. Filter taps that fall on the same cache
 // line coalesce (quad-level texture locality), but the logical
-// filter-weighted access count is recorded in the statistics.
-func (c *rasterCtx) textureChain(start uint64, tex int32, fetches []texFetch, q *raster.Quad, st *FrameStats) uint64 {
+// filter-weighted access count is recorded in the statistics. The quad's
+// deduplicated line set is probed in one batched AccessChain call per
+// fetch; per-fetch constants (cache unit, UV offsets, tap counts) come
+// precomputed from the shader's cost table.
+func (c *rasterCtx) textureChain(start uint64, tex int32, fetches []texFetch, qu, qv float64, st *FrameStats) uint64 {
 	s := c.sim
-	texture := &s.trace.Textures[tex]
-	base := s.texBase[tex]
+	m := &c.texMemo
+	if !m.ok || m.tex != tex {
+		texture := &s.trace.Textures[tex]
+		m.ok = true
+		m.tex = tex
+		m.base = s.texBase[tex]
+		m.mip = m.base + uint64(texture.SizeBytes())
+		m.w, m.h = texture.Width, texture.Height
+		m.fw, m.fh = float64(m.w), float64(m.h)
+		m.bpt = texture.BytesPerTexel
+	}
+	base := m.base
+	w, h := m.w, m.h
+	fw, fh := m.fw, m.fh
+	bpt := m.bpt
+	shift := s.texLineShift
 	cur := start
 	for fi := range fetches {
 		f := &fetches[fi]
-		st.TexAccesses += uint64(f.taps)
-		cache := c.tcaches[f.sampler%len(c.tcaches)]
+		st.TexAccesses += f.taps
+		cache := c.tcaches[f.unit]
 
 		// Wrap UVs and locate the base texel. Different samplers
 		// perturb coordinates so multi-layer materials touch
 		// different texture regions.
-		u := q.U + float64(f.sampler)*0.37
-		v := q.V + float64(f.sampler)*0.19
+		u := qu + f.du
+		v := qv + f.dv
 		u -= math.Floor(u)
 		v -= math.Floor(v)
-		tx := int(u * float64(texture.Width))
-		tyy := int(v * float64(texture.Height))
-		if tx >= texture.Width {
-			tx = texture.Width - 1
+		tx := int(u * fw)
+		tyy := int(v * fh)
+		if tx >= w {
+			tx = w - 1
 		}
-		if tyy >= texture.Height {
-			tyy = texture.Height - 1
+		if tyy >= h {
+			tyy = h - 1
 		}
 
-		lineBytes := uint64(s.cfg.TextureCache.LineBytes)
 		var lines [3]uint64
-		n := 0
-		add := func(addr uint64) {
-			ln := addr / lineBytes
-			for i := 0; i < n; i++ {
-				if lines[i] == ln {
-					return
-				}
-			}
-			if n < len(lines) {
-				lines[n] = ln
-				n++
-			}
-		}
-		texel := func(x, y int) uint64 {
-			if x >= texture.Width {
-				x = texture.Width - 1
-			}
-			if y >= texture.Height {
-				y = texture.Height - 1
-			}
-			return base + uint64((y*texture.Width+x)*texture.BytesPerTexel)
-		}
+		n := addLine(&lines, 0, texelAddr(base, tx, tyy, w, h, bpt)>>shift)
 		switch f.filter {
-		case shader.FilterNearest:
-			add(texel(tx, tyy))
 		case shader.FilterLinear:
-			add(texel(tx, tyy))
-			add(texel(tx+1, tyy))
+			n = addLine(&lines, n, texelAddr(base, tx+1, tyy, w, h, bpt)>>shift)
 		case shader.FilterBilinear:
-			add(texel(tx, tyy))
-			add(texel(tx+1, tyy))
-			add(texel(tx, tyy+1))
+			n = addLine(&lines, n, texelAddr(base, tx+1, tyy, w, h, bpt)>>shift)
+			n = addLine(&lines, n, texelAddr(base, tx, tyy+1, w, h, bpt)>>shift)
 		case shader.FilterTrilinear:
-			add(texel(tx, tyy))
-			add(texel(tx+1, tyy))
+			n = addLine(&lines, n, texelAddr(base, tx+1, tyy, w, h, bpt)>>shift)
 			// Second mip level lives past the base image.
-			mip := base + uint64(texture.SizeBytes())
-			add(mip + uint64(((tyy/2)*(texture.Width/2)+tx/2)*texture.BytesPerTexel))
+			n = addLine(&lines, n, (m.mip+uint64(((tyy/2)*(w/2)+tx/2)*bpt))>>shift)
 		}
 		for i := 0; i < n; i++ {
-			cur = cache.Access(cur+1, lines[i]*lineBytes, false)
+			lines[i] <<= shift
 		}
+		cur = cache.AccessChain(cur, lines[:n], false)
 	}
 	return cur
 }

@@ -142,23 +142,17 @@ func (s *Simulator) rasterPassTiled(st *FrameStats, start uint64) uint64 {
 	for _, tw := range s.tileWorkers {
 		st.Add(&tw.partial)
 		ss := tw.shard.Stats()
-		addCache(&s.tilecache.Stats, ss.TileCache)
-		addCache(&s.tcaches[0].Stats, ss.TextureCache)
-		addCache(&s.l2.Stats, ss.L2)
-		s.dram.Stats.Accesses += ss.DRAM.Accesses
-		s.dram.Stats.Reads += ss.DRAM.Reads
-		s.dram.Stats.Writes += ss.DRAM.Writes
-		s.dram.Stats.RowHits += ss.DRAM.RowHits
-		s.dram.Stats.RowMisses += ss.DRAM.RowMisses
-		s.dram.Stats.BusyCycles += ss.DRAM.BusyCycles
-		addQueueStats(&s.fragmentQ.Stats, tw.ctx.fragmentQ.Stats)
-		addQueueStats(&s.colorQ.Stats, tw.ctx.colorQ.Stats)
+		s.tilecache.Stats.Add(ss.TileCache)
+		// Per-unit attribution: each shard texture cache folds into the
+		// simulator unit with the same index, so per-unit counters match
+		// the serial mode (folding the sum into unit 0 would not).
+		for i := range ss.TextureCacheUnits {
+			s.tcaches[i].Stats.Add(ss.TextureCacheUnits[i])
+		}
+		s.l2.Stats.Add(ss.L2)
+		s.dram.Stats.Add(ss.DRAM)
+		s.fragmentQ.Stats.Add(tw.ctx.fragmentQ.Stats)
+		s.colorQ.Stats.Add(tw.ctx.colorQ.Stats)
 	}
 	return clock
-}
-
-func addQueueStats(dst *queue.Stats, src queue.Stats) {
-	dst.Admitted += src.Admitted
-	dst.Stalls += src.Stalls
-	dst.StallCycles += src.StallCycles
 }

@@ -1,0 +1,77 @@
+package tbr
+
+import (
+	"testing"
+
+	"repro/internal/tbr/mem"
+	"repro/internal/workload"
+)
+
+// TestTiledPerUnitTextureCacheAttribution is the regression test for
+// the tile-parallel fold collapsing every shard's texture-cache
+// counters into unit 0: with NumTextureCaches > 1 the per-unit
+// counters of a tiled run must equal the serial mode's, unit by unit.
+// Frame statistics only expose the sum over units, so this inspects
+// the simulator's own units directly.
+func TestTiledPerUnitTextureCacheAttribution(t *testing.T) {
+	// A 3D profile: its complex fragment shaders address several
+	// samplers, so texture traffic spreads across cache units (2D
+	// profiles sample unit 0 only and would not catch misattribution).
+	tr := workload.MustGenerate(workload.Profiles["asp"], workload.TestScale)
+	run := func(tileWorkers int) []mem.CacheStats {
+		cfg := DefaultConfig()
+		if cfg.NumTextureCaches < 2 {
+			t.Fatalf("default config has %d texture caches; test needs > 1", cfg.NumTextureCaches)
+		}
+		cfg.TileWorkers = tileWorkers
+		s, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SimulateAll(nil)
+		out := make([]mem.CacheStats, len(s.tcaches))
+		for i, c := range s.tcaches {
+			out[i] = c.Stats
+		}
+		return out
+	}
+
+	want := run(0) // serial raster stage
+	ref := run(1)  // tile-parallel reference
+	for i := range want {
+		// Serial and tiled are different timing models (tiled cold-starts
+		// each tile's shard, so hit rates differ), but the access *stream*
+		// routed to each unit is the same — per-unit access counts must
+		// match exactly. The bug folded every unit into unit 0, which
+		// fails precisely this comparison.
+		if ref[i].Accesses != want[i].Accesses {
+			t.Errorf("tile-workers=1: texture cache unit %d got %d accesses, serial %d",
+				i, ref[i].Accesses, want[i].Accesses)
+		}
+	}
+	for _, tw := range []int{2, 4} {
+		got := run(tw)
+		if len(got) != len(ref) {
+			t.Fatalf("tile-workers=%d: %d texture cache units vs %d", tw, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("tile-workers=%d: texture cache unit %d diverges from tile-workers=1:\n got %+v\nwant %+v",
+					tw, i, got[i], ref[i])
+			}
+		}
+	}
+
+	// The bug this guards against attributed everything to unit 0 and
+	// nothing to the rest; make sure the fixture actually exercises
+	// more than one unit so the per-unit comparison has teeth.
+	active := 0
+	for _, st := range want {
+		if st.Accesses > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("fixture exercises only %d texture cache unit(s); need >= 2 for attribution coverage", active)
+	}
+}
