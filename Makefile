@@ -27,9 +27,13 @@ SERVE_COVER_FLOOR ?= 85
 # failover and byte-identity guarantees of cluster mode.
 FABRIC_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench bench-tbr bench-cluster bench-check bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the streaming first phase — the
+# bounded-memory stratifier behind unbounded-stream campaigns.
+STREAM_COVER_FLOOR ?= 85
 
-ci: vet build race determinism resilience serve fabric validate cover-check resilience-cover-check serve-cover-check fabric-cover-check bench-check bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience serve fabric stream validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check bench bench-tbr bench-cluster bench-check bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism resilience serve fabric stream validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check bench-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +85,17 @@ serve:
 fabric:
 	$(GO) test -race -count=1 ./internal/fabric
 
+# Explicit gate on the streaming guarantees: the online stratifier is
+# chunk-split invariant and bounded-memory, its snapshots round-trip
+# byte-identically, the goldens pin streaming-vs-batch selection
+# agreement on the oracle seeds, and a campaign killed mid-stream
+# resumes to a byte-identical report at tile-workers 1 and 4 — all
+# race-detector clean.
+stream:
+	$(GO) test -race -count=1 ./internal/stream
+	$(GO) test -race -count=1 -run '^TestSampleStreaming|^TestStream' ./megsim ./cmd/megsim
+	$(GO) test -race -count=1 -run '^TestStream' ./internal/serve
+
 # The statistical acceptance gate: the differential oracle of
 # internal/check runs MEGsim-sampled vs full simulation over three fixed
 # randomized workloads (race-enabled, invariants armed) and fails if any
@@ -116,6 +131,13 @@ fabric-cover-check:
 	if [ -z "$$cov" ]; then echo "fabric-cover-check: no coverage reported for internal/fabric"; exit 1; fi; \
 	echo "internal/fabric coverage: $$cov% (floor $(FABRIC_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$cov >= $(FABRIC_COVER_FLOOR))}" || { echo "fabric-cover-check: coverage $$cov% below $(FABRIC_COVER_FLOOR)% floor"; exit 1; }
+
+# Coverage floor for the streaming first phase.
+stream-cover-check:
+	@cov=$$($(GO) test -cover ./internal/stream | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "stream-cover-check: no coverage reported for internal/stream"; exit 1; fi; \
+	echo "internal/stream coverage: $$cov% (floor $(STREAM_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(STREAM_COVER_FLOOR))}" || { echo "stream-cover-check: coverage $$cov% below $(STREAM_COVER_FLOOR)% floor"; exit 1; }
 
 # Benchmark baselines: run the tbr and cluster suites, keep the raw
 # benchstat-format text, and convert to JSON with cmd/benchjson. The
@@ -184,3 +206,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 5s ./internal/resilience
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCampaignRequest$$' -fuzztime 5s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWorkUnit$$' -fuzztime 5s ./internal/fabric
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamIngest$$' -fuzztime 5s ./internal/stream

@@ -50,7 +50,7 @@ func TestValidateSubcommand(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("bad report JSON: %v", err)
 	}
-	if !rep.Pass || len(rep.Seeds) != 1 || len(rep.Seeds[0].Metrics) != 8 {
+	if !rep.Pass || len(rep.Seeds) != 1 || len(rep.Seeds[0].Metrics) != 12 {
 		t.Errorf("unexpected report: %s", data)
 	}
 }

@@ -25,6 +25,15 @@
 //	megsim -benchmark hcr -tile-workers 4
 //	megsim -benchmark hcr -checkpoint run.ckpt          # interrupt freely…
 //	megsim -benchmark hcr -checkpoint run.ckpt -resume  # …and pick up here
+//	megsim -benchmark hcr -stream                       # bounded-memory streaming mode
+//	megsim -benchmark hcr -stream -strata 48 -validate
+//
+// With -stream the batch pipeline (characterize everything, then
+// cluster) is replaced by the streaming one: frames are characterized
+// and folded into an online stratifier one at a time, so memory stays
+// O(strata · reservoir) however long the trace is, and only each
+// stratum's representative is ever simulated. -validate, -checkpoint,
+// -resume, retry/quarantine and -server all compose with it.
 package main
 
 import (
@@ -82,6 +91,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		runTimeout   = fs.Duration("run-timeout", 0, "overall wall-clock deadline for the run (0 = none)")
 		stallTimeout = fs.Duration("stall-timeout", 0, "flag a worker stuck on one frame longer than this (0 = off)")
 		server       = fs.String("server", "", "submit the campaign to a megsimd daemon at this address instead of simulating locally")
+		streamMode   = fs.Bool("stream", false, "streaming mode: online stratification with bounded memory instead of batch clustering")
+		strata       = fs.Int("strata", 0, "streaming stratum budget (0 = default; needs -stream)")
+		reservoir    = fs.Int("reservoir", 0, "streaming per-stratum reservoir capacity (0 = default; needs -stream)")
+		eagerEvery   = fs.Int("stream-eager", 0, "launch representative simulations every N streamed frames (0 = at stream end; needs -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +107,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	preQuarantine, err := parseFrameList(*quarantine)
 	if err != nil {
 		return fmt.Errorf("-quarantine: %w", err)
+	}
+	if !*streamMode {
+		var needStream []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "strata", "reservoir", "stream-eager":
+				needStream = append(needStream, "-"+f.Name)
+			}
+		})
+		if len(needStream) > 0 {
+			return fmt.Errorf("%s need -stream", strings.Join(needStream, ", "))
+		}
 	}
 
 	if *server != "" {
@@ -124,6 +149,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				StallTimeoutMS: stallTimeout.Milliseconds(),
 			},
 		}
+		if *streamMode {
+			req.Stream = &serve.StreamSpec{MaxStrata: *strata, ReservoirCap: *reservoir, EagerEvery: *eagerEvery}
+		}
 		return runRemote(ctx, *server, req, *jsonOut, stdout)
 	}
 
@@ -144,6 +172,49 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Resume:         *resume,
 		Quarantine:     preQuarantine,
 		StallTimeout:   *stallTimeout,
+	}
+
+	if *streamMode {
+		if *saveSel != "" {
+			return fmt.Errorf("-save-selection records a batch clustering; it cannot be combined with -stream")
+		}
+		scfg := megsim.DefaultStreamConfig()
+		scfg.Seed = *seed
+		if *strata > 0 {
+			scfg.MaxStrata = *strata
+		}
+		if *reservoir > 0 {
+			scfg.ReservoirCap = *reservoir
+		}
+		opts := megsim.StreamingOptions{Stream: scfg, Resilience: rcfg, EagerEvery: *eagerEvery}
+		start := time.Now()
+		srun, err := megsim.SampleStreaming(ctx, tr, opts, gpu)
+		if err != nil {
+			if *checkpoint != "" {
+				return fmt.Errorf("%w (progress checkpointed to %s; rerun with -resume)", err, *checkpoint)
+			}
+			return err
+		}
+		sampledTime := time.Since(start)
+		var val *validation
+		if *validate {
+			effTol := *tolScale
+			if srun.Degraded() {
+				effTol *= 3
+			}
+			val, err = validateEstimate(ctx, tr, &srun.Estimate, gpu, effTol)
+			if err != nil {
+				return err
+			}
+			val.Degraded = srun.Degraded()
+			if *valOut != "" {
+				if err := writeValidation(*valOut, tr.Name, val); err != nil {
+					return err
+				}
+			}
+		}
+		rep := serve.NewStreamingCampaignReport(srun, sampledTime)
+		return renderReport(stdout, rep, val, sampledTime, *jsonOut)
 	}
 
 	start := time.Now()
@@ -174,7 +245,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if rrun.Degraded() {
 			effTol *= 3
 		}
-		val, err = validateRun(ctx, tr, run, gpu, effTol)
+		val, err = validateEstimate(ctx, tr, &run.Estimate, gpu, effTol)
 		if err != nil {
 			return err
 		}
@@ -186,12 +257,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
-	// Local and remote runs render through the one shared report type:
-	// -json here is byte-identical to the daemon's stored result payload
-	// (modulo sampled_run_ms wall-clock), and the text block is the same
-	// renderer megsim -server uses on fetched results.
 	rep := serve.NewCampaignReport(rrun, sampledTime)
-	if *jsonOut {
+	return renderReport(stdout, rep, val, sampledTime, *jsonOut)
+}
+
+// renderReport renders batch and streaming runs through the one shared
+// report type: -json here is byte-identical to the daemon's stored
+// result payload (modulo sampled_run_ms wall-clock), and the text block
+// is the same renderer megsim -server uses on fetched results.
+func renderReport(stdout io.Writer, rep *serve.CampaignReport, val *validation, sampledTime time.Duration, jsonOut bool) error {
+	if jsonOut {
 		if err := printJSON(stdout, rep, val); err != nil {
 			return err
 		}
@@ -245,7 +320,7 @@ func (v *validation) gateErr() error {
 	return fmt.Errorf("validation failed: accuracy out of band or invariants violated")
 }
 
-func validateRun(ctx context.Context, tr *megsim.Trace, run *megsim.Run, gpu megsim.GPUConfig, tolScale float64) (*validation, error) {
+func validateEstimate(ctx context.Context, tr *megsim.Trace, est *megsim.FrameStats, gpu megsim.GPUConfig, tolScale float64) (*validation, error) {
 	inv := check.NewInvariants(gpu)
 	gpu.Check = inv
 	start := time.Now()
@@ -261,7 +336,7 @@ func validateRun(ctx context.Context, tr *megsim.Trace, run *megsim.Run, gpu meg
 	}
 	val := &validation{FullSimTime: time.Since(start)}
 	actual := megsim.SumStats(full)
-	val.Metrics = check.CompareRows(&run.Estimate, &actual, check.DefaultTolerance().Scaled(tolScale))
+	val.Metrics = check.CompareRows(est, &actual, check.DefaultTolerance().Scaled(tolScale))
 	val.Violations = inv.Violations()
 	val.Pass = len(val.Violations) == 0
 	for _, m := range val.Metrics {

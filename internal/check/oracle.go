@@ -10,6 +10,7 @@ import (
 	"repro/internal/funcsim"
 	"repro/internal/gltrace"
 	"repro/internal/power"
+	"repro/internal/stream"
 	"repro/internal/tbr"
 	"repro/internal/workload"
 )
@@ -80,6 +81,17 @@ type OracleConfig struct {
 	// (a re-simulation of one representative under different worker
 	// counts); the probe is cheap but not free.
 	SkipInvarianceProbe bool
+	// SkipStreamProbe disables the streaming-selection probe: by
+	// default every seed also runs the bounded-memory online stratifier
+	// (internal/stream) over the same characterization, estimates from
+	// its strata, and judges the result against the same tolerance
+	// bands ("stream-*" rows), reporting the Rand-index agreement
+	// between the streaming and batch partitions.
+	SkipStreamProbe bool
+	// Stream configures the streaming probe (zero value =
+	// stream.DefaultConfig with the seed and feature config aligned to
+	// the oracle's).
+	Stream stream.Config
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -119,6 +131,17 @@ type SeedResult struct {
 	// identical across tile-worker and frame-worker counts (true when
 	// the probe is skipped).
 	WorkerInvariance bool `json:"worker_invariance"`
+	// StreamStrata is the streaming probe's stratum count (0 when the
+	// probe is skipped); its estimate rows appear in Metrics with a
+	// "stream-" prefix, judged against the same bands as batch.
+	StreamStrata int `json:"stream_strata,omitempty"`
+	// StreamReduction is the streaming frames/strata reduction factor.
+	StreamReduction float64 `json:"stream_reduction,omitempty"`
+	// StreamAgreement is the Rand index between the streaming and batch
+	// frame partitions (1 = identical pair structure). Reported, not
+	// gated: the methodologies legitimately choose different granularity;
+	// accuracy is what the bands gate.
+	StreamAgreement float64 `json:"stream_agreement,omitempty"`
 	// Violations are the invariant violations recorded during the full
 	// run (empty unless faults corrupt statistics or the simulator is
 	// broken).
@@ -301,6 +324,12 @@ func (c *OracleConfig) runSeed(seed uint64) (*SeedResult, error) {
 		sr.Metrics = append(sr.Metrics, metricRow(row.name, row.est, row.act, relErr(row.est, row.act), c.Tolerance.Energy))
 	}
 
+	if !c.SkipStreamProbe {
+		if err := c.probeStreaming(seed, tr, fr, sel, full, fullTotals, sr); err != nil {
+			return nil, err
+		}
+	}
+
 	if !c.SkipInvarianceProbe && len(sel.Representatives) > 0 {
 		ok, err := c.probeWorkerInvariance(gpu, tr, sel.Representatives[0])
 		if err != nil {
@@ -318,6 +347,71 @@ func (c *OracleConfig) runSeed(seed uint64) (*SeedResult, error) {
 	c.logf("[%s] reps %d/%d, max err %.2f%%, pass=%v",
 		p.Alias, sr.Representatives, sr.Frames, maxErrPct(sr.Metrics), sr.Pass)
 	return sr, nil
+}
+
+// probeStreaming runs the bounded-memory online stratifier over the
+// same characterization the batch pipeline clustered, estimates
+// full-sequence statistics from its strata (representative stats taken
+// from the full run — valid by the frame-isolation property the
+// rep-isolation probe just verified), and appends "stream-*" accuracy
+// rows judged against the same tolerance bands. It also reports the
+// Rand-index agreement between the streaming and batch partitions.
+func (c *OracleConfig) probeStreaming(seed uint64, tr *gltrace.Trace, fr *funcsim.Result, sel *core.Selection, full []tbr.FrameStats, fullTotals tbr.FrameStats, sr *SeedResult) error {
+	scfg := c.Stream
+	if scfg.MaxStrata == 0 && scfg.ReservoirCap == 0 && scfg.Seed == 0 {
+		scfg = stream.DefaultConfig()
+		scfg.Seed = seed
+		scfg.Feature = c.MEGsim.Feature
+	}
+	scfg.TrackAssignments = true
+	ing := stream.NewIngestor(tr.Name, fr.VSStatic, fr.FSStatic, scfg)
+	if err := ing.AddChunk(fr.Profiles); err != nil {
+		return err
+	}
+	ssel, err := ing.Finalize()
+	if err != nil {
+		return err
+	}
+	repStats := make(map[int]tbr.FrameStats, len(ssel.Strata))
+	for _, st := range ssel.Strata {
+		repStats[st.Representative] = full[st.Representative]
+	}
+	est, err := ssel.Estimate(repStats)
+	if err != nil {
+		return err
+	}
+	sr.StreamStrata = ssel.NumStrata()
+	sr.StreamReduction = ssel.ReductionFactor()
+	for _, row := range CompareRows(&est, &fullTotals, c.Tolerance) {
+		row.Name = "stream-" + row.Name
+		sr.Metrics = append(sr.Metrics, row)
+	}
+	assign, err := ing.Assignments()
+	if err != nil {
+		return err
+	}
+	sr.StreamAgreement = randIndex(sel.Clusters.Assign, assign)
+	c.logf("[%s] stream: %d strata, agreement %.3f", sr.Alias, sr.StreamStrata, sr.StreamAgreement)
+	return nil
+}
+
+// randIndex is the Rand index of two partitions of the same frame
+// sequence: the fraction of frame pairs on whose co-membership the two
+// partitions agree.
+func randIndex(a, b []int) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 1
+	}
+	agree, pairs := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			pairs++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(pairs)
 }
 
 // probeWorkerInvariance re-simulates one representative frame under

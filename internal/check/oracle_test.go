@@ -50,9 +50,10 @@ func TestOracleBaseline(t *testing.T) {
 	if sr.Representatives <= 0 || sr.Representatives > sr.Frames {
 		t.Errorf("implausible representative count %d of %d frames", sr.Representatives, sr.Frames)
 	}
-	// 8 rows: four Fig. 7 metrics + three energy phases + energy total.
-	if len(sr.Metrics) != 8 {
-		t.Fatalf("got %d metric rows, want 8", len(sr.Metrics))
+	// 12 rows: four Fig. 7 metrics + three energy phases + energy total
+	// + the streaming probe's four "stream-*" metrics.
+	if len(sr.Metrics) != 12 {
+		t.Fatalf("got %d metric rows, want 12", len(sr.Metrics))
 	}
 	for _, m := range sr.Metrics {
 		if m.Actual <= 0 {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/funcsim"
+	"repro/internal/shader"
 )
 
 // PhaseWeights are the per-group weights of the vector of
@@ -93,14 +94,8 @@ func BuildFeatures(res *funcsim.Result, cfg FeatureConfig) (*FeatureSet, error) 
 	fs := &FeatureSet{NumVS: numVS, NumFS: numFS, HasPrim: cfg.IncludePrim}
 	d := fs.Dims()
 
-	vsInstr := make([]float64, numVS)
-	for i, c := range res.VSStatic {
-		vsInstr[i] = instrWeight(c.Instructions, c.TexSamples, c.TexMemAccesses, cfg.UseTextureWeights)
-	}
-	fsInstr := make([]float64, numFS)
-	for i, c := range res.FSStatic {
-		fsInstr[i] = instrWeight(c.Instructions, c.TexSamples, c.TexMemAccesses, cfg.UseTextureWeights)
-	}
+	vsInstr := InstrWeights(res.VSStatic, cfg.UseTextureWeights)
+	fsInstr := InstrWeights(res.FSStatic, cfg.UseTextureWeights)
 
 	fs.Vectors = make([][]float64, len(res.Profiles))
 	backing := make([]float64, len(res.Profiles)*d)
@@ -143,6 +138,18 @@ func instrWeight(instrs, texSamples, texMem int, useTexWeights bool) float64 {
 		return float64(instrs)
 	}
 	return float64(instrs-texSamples) + float64(texMem)
+}
+
+// InstrWeights maps per-program static costs to their characterization
+// weights — the Section III-B shader weighting shared by the batch
+// BuildFeatures and the streaming ingestor (internal/stream), so the
+// two pipelines weight shader activity identically by construction.
+func InstrWeights(costs []shader.Cost, useTexWeights bool) []float64 {
+	out := make([]float64, len(costs))
+	for i, c := range costs {
+		out[i] = instrWeight(c.Instructions, c.TexSamples, c.TexMemAccesses, useTexWeights)
+	}
+	return out
 }
 
 func scaleGroup(vectors [][]float64, lo, hi int, weight, groupSum float64) {

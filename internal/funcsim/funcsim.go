@@ -16,10 +16,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/geom"
 	"repro/internal/gltrace"
 	"repro/internal/obs"
-	"repro/internal/raster"
 	"repro/internal/shader"
 )
 
@@ -81,7 +79,8 @@ func Run(trace *gltrace.Trace) (*Result, error) { return RunObs(trace, nil) }
 // ("funcsim.frame_fragments"). A nil registry makes RunObs identical to
 // Run.
 func RunObs(trace *gltrace.Trace, reg *obs.Registry) (*Result, error) {
-	if err := trace.Validate(); err != nil {
+	st, err := NewStreamer(trace)
+	if err != nil {
 		return nil, err
 	}
 	var (
@@ -91,84 +90,15 @@ func RunObs(trace *gltrace.Trace, reg *obs.Registry) (*Result, error) {
 		hFragments = reg.Histogram("funcsim.frame_fragments")
 	)
 	res := &Result{Trace: trace.Name}
-	for _, p := range trace.VertexShaders {
-		res.VSStatic = append(res.VSStatic, p.StaticCost())
-	}
-	for _, p := range trace.FragmentShaders {
-		res.FSStatic = append(res.FSStatic, p.StaticCost())
-	}
-
-	vp := trace.Viewport
-	depth := raster.NewDepthBuffer(vp.Width, vp.Height)
-	clip := geom.AABB2{Max: geom.Vec2{X: float64(vp.Width), Y: float64(vp.Height)}}
-	var triBuf []raster.ScreenTriangle
+	res.VSStatic, res.FSStatic = st.Static()
 
 	res.Profiles = make([]FrameProfile, trace.NumFrames())
 	for f := range trace.Frames {
 		prof := &res.Profiles[f]
-		prof.Frame = f
-		prof.VSCount = make([]uint64, len(trace.VertexShaders))
-		prof.FSCount = make([]uint64, len(trace.FragmentShaders))
-		depth.Clear()
-
-		curVS, curFS := -1, -1
-		curTex := 0
-		for ci := range trace.Frames[f].Commands {
-			cmd := &trace.Frames[f].Commands[ci]
-			switch cmd.Op {
-			case gltrace.CmdBindProgram:
-				curVS, curFS = cmd.VS, cmd.FS
-			case gltrace.CmdBindTexture:
-				if cmd.Unit == 0 {
-					curTex = cmd.Texture
-				}
-			case gltrace.CmdClear:
-				depth.Clear()
-			case gltrace.CmdDraw:
-				cDraws.Inc()
-				mesh := &trace.Meshes[cmd.Mesh]
-				prof.VSCount[curVS] += uint64(len(mesh.Vertices))
-
-				// Functionally execute the bound programs once per
-				// draw with draw-derived inputs; lock-step warps make
-				// all invocations of a draw structurally identical, so
-				// one execution yields the per-draw functional digest.
-				vsOut := trace.VertexShaders[curVS].Exec(shader.Regs{
-					cmd.MVP[3], cmd.MVP[7], cmd.MVP[11], cmd.DepthBias,
-				}, nil)
-				fsOut := trace.FragmentShaders[curFS].Exec(shader.Regs{
-					cmd.MVP[3], cmd.MVP[7], 0.5, 0.5,
-				}, proceduralSampler{tex: curTex})
-				prof.Checksum = mixChecksum(prof.Checksum, vsOut.Regs, fsOut.Regs)
-
-				triBuf = triBuf[:0]
-				tris, gstats := raster.ProcessDraw(mesh, cmd.MVP, vp, cmd.DepthBias, triBuf)
-				triBuf = tris
-				prof.PrimsIn += uint64(gstats.PrimsIn)
-				prof.PrimsVisible += uint64(gstats.Visible)
-
-				blend := cmd.Blend
-				for t := range tris {
-					raster.RasterizeQuads(&tris[t], clip, func(q *raster.Quad) {
-						var surviving uint8
-						if blend {
-							// Transparent fragments are depth-tested
-							// but never write depth.
-							surviving = depth.TestQuadReadOnly(q)
-						} else {
-							surviving = depth.TestQuad(q)
-						}
-						if surviving == 0 {
-							return
-						}
-						q.Mask = surviving
-						n := uint64(q.Coverage())
-						prof.FSCount[curFS] += n
-						prof.Fragments += n
-					})
-				}
-			}
+		if err := st.ProfileAt(prof, f); err != nil {
+			return nil, err
 		}
+		cDraws.Add(uint64(trace.Frames[f].DrawCount()))
 		cFrames.Inc()
 		cFragments.Add(prof.Fragments)
 		hFragments.Observe(prof.Fragments)

@@ -54,6 +54,12 @@ type Checkpoint struct {
 	Frames []FrameRecord `json:"frames"`
 	// Quarantined are the frames given up on, ascending by frame.
 	Quarantined []QuarantineRecord `json:"quarantined,omitempty"`
+	// Stream is the streaming first phase's strata snapshot
+	// (stream.Ingestor.Snapshot), empty for batch campaigns. It rides
+	// inside the CRC envelope, so a torn write can never present valid
+	// frame records with damaged strata state: an interrupted streaming
+	// campaign resumes ingest mid-stream byte-identically or not at all.
+	Stream json.RawMessage `json:"stream,omitempty"`
 }
 
 // checkpointFile is the on-disk envelope: the payload bytes are

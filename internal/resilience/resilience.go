@@ -98,6 +98,14 @@ type Config struct {
 	// trust of damaged state.
 	Resume bool
 
+	// StreamState, when non-empty, is carried verbatim into every
+	// checkpoint the supervisor writes (Checkpoint.Stream): the
+	// streaming sampler passes its strata snapshot here so phase-2
+	// checkpoint rewrites preserve the phase-1 state inside the same
+	// CRC envelope. Batch campaigns leave it empty, which keeps their
+	// checkpoint bytes unchanged.
+	StreamState []byte
+
 	// Quarantine pre-quarantines frames: they are never attempted, as
 	// if they had exhausted their retries. Operators use it to route
 	// around known-bad frames; the degraded-mode tests use it to force

@@ -67,7 +67,7 @@ func (s *runState) persistLocked() {
 }
 
 func (s *runState) checkpointLocked() *Checkpoint {
-	c := &Checkpoint{Fingerprint: s.cfg.Fingerprint}
+	c := &Checkpoint{Fingerprint: s.cfg.Fingerprint, Stream: s.cfg.StreamState}
 	for _, r := range s.records {
 		c.Frames = append(c.Frames, r)
 	}
@@ -199,6 +199,12 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 			res.ResumeErr = err
 			logf(cfg.Log, "resilience: resume rejected, starting fresh: %v", err)
 		case ck != nil:
+			if len(cfg.StreamState) == 0 && len(ck.Stream) > 0 {
+				// Preserve phase-1 strata state across rewrites even when
+				// this round wasn't handed a fresher snapshot; dropping it
+				// would strand a later mid-stream resume.
+				cfg.StreamState = ck.Stream
+			}
 			for _, r := range ck.Frames {
 				state.records[r.Frame] = r
 				if want[r.Frame] {

@@ -36,6 +36,10 @@ const (
 	maxQuarantine = 10000
 	// maxStallTimeout bounds the watchdog timeout.
 	maxStallTimeout = int64(time.Hour / time.Millisecond)
+	// maxStreamStrata bounds the streaming stratum budget.
+	maxStreamStrata = 1024
+	// maxStreamReservoir bounds the per-stratum reservoir capacity.
+	maxStreamReservoir = 256
 )
 
 // WorkloadSpec names the campaign's workload: exactly one of a Table II
@@ -82,6 +86,22 @@ type ResilienceSpec struct {
 	StallTimeoutMS int64 `json:"stall_timeout_ms,omitempty"`
 }
 
+// StreamSpec switches a campaign to streaming mode: the online
+// bounded-memory stratifier replaces batch characterization and k-means
+// selection. Zero-valued fields resolve to megsim.DefaultStreamConfig.
+type StreamSpec struct {
+	// MaxStrata is the stratum budget (0 = default).
+	MaxStrata int `json:"max_strata,omitempty"`
+	// ReservoirCap is the per-stratum candidate reservoir capacity
+	// (0 = default).
+	ReservoirCap int `json:"reservoir_cap,omitempty"`
+	// EagerEvery launches representative simulations mid-stream every
+	// this many ingested frames (0 = phase boundary only). Eager runs
+	// shape execution, never results, so this never enters the
+	// campaign fingerprint.
+	EagerEvery int `json:"eager_every,omitempty"`
+}
+
 // CampaignRequest is the job-submission document POSTed to
 // /api/v1/campaigns. Zero-valued fields resolve to the same defaults
 // the megsim CLI uses, and the campaign fingerprint is computed over
@@ -93,6 +113,9 @@ type CampaignRequest struct {
 	Seed       uint64         `json:"seed,omitempty"`
 	GPU        GPUSpec        `json:"gpu,omitempty"`
 	Resilience ResilienceSpec `json:"resilience,omitempty"`
+	// Stream, when present, runs the campaign in streaming mode (and is
+	// the request document a chunked-upload stream session opens with).
+	Stream *StreamSpec `json:"stream,omitempty"`
 }
 
 // DecodeCampaignRequest reads, decodes and validates one campaign
@@ -170,6 +193,17 @@ func (c *CampaignRequest) Validate() error {
 	if r.StallTimeoutMS < 0 || r.StallTimeoutMS > maxStallTimeout {
 		return fmt.Errorf("resilience: stall_timeout_ms %d out of [0, %d]", r.StallTimeoutMS, maxStallTimeout)
 	}
+	if st := c.Stream; st != nil {
+		if st.MaxStrata < 0 || st.MaxStrata > maxStreamStrata {
+			return fmt.Errorf("stream: max_strata %d out of [0, %d]", st.MaxStrata, maxStreamStrata)
+		}
+		if st.ReservoirCap < 0 || st.ReservoirCap > maxStreamReservoir {
+			return fmt.Errorf("stream: reservoir_cap %d out of [0, %d]", st.ReservoirCap, maxStreamReservoir)
+		}
+		if st.EagerEvery < 0 || st.EagerEvery > maxDivisor {
+			return fmt.Errorf("stream: eager_every %d out of [0, %d]", st.EagerEvery, maxDivisor)
+		}
+	}
 	return nil
 }
 
@@ -220,6 +254,9 @@ func (c *CampaignRequest) Fingerprint() string {
 	}
 	quarantine := append([]int(nil), c.Resilience.Quarantine...)
 	sort.Ints(quarantine)
+	if c.Stream != nil {
+		return c.streamFingerprint(tw, quarantine, 0)
+	}
 	return hashKey("cmp", struct {
 		Workload   resolvedWorkload
 		Threshold  float64
@@ -229,6 +266,56 @@ func (c *CampaignRequest) Fingerprint() string {
 		TileW      int
 		Quarantine []int
 	}{c.resolveWorkload(), c.threshold(), c.seed(), c.GPU.Preset, c.GPU.TBDR, tw, quarantine})
+}
+
+// streamFingerprint content-addresses a streaming campaign under its
+// own prefix: the resolved stream budget and seed replace the batch
+// search threshold, and frames > 0 records a stream truncated at that
+// frame (a chunked-upload session that finished early). EagerEvery is
+// execution-shaping and excluded — eager and lazy runs are
+// byte-identical.
+func (c *CampaignRequest) streamFingerprint(tw int, quarantine []int, frames int) string {
+	scfg := c.StreamConfig()
+	return hashKey("smc", struct {
+		Workload     resolvedWorkload
+		Seed         uint64
+		MaxStrata    int
+		ReservoirCap int
+		Frames       int `json:",omitempty"`
+		Preset       string
+		TBDR         bool
+		TileW        int
+		Quarantine   []int
+	}{c.resolveWorkload(), scfg.Seed, scfg.MaxStrata, scfg.ReservoirCap, frames, c.GPU.Preset, c.GPU.TBDR, tw, quarantine})
+}
+
+// StreamFingerprint is Fingerprint for a stream session that ingested
+// exactly frames frames before finishing (0 = the whole workload, which
+// equals Fingerprint for a streaming request).
+func (c *CampaignRequest) StreamFingerprint(frames int) string {
+	tw := c.GPU.TileWorkers
+	if tw > 1 {
+		tw = 1
+	}
+	quarantine := append([]int(nil), c.Resilience.Quarantine...)
+	sort.Ints(quarantine)
+	return c.streamFingerprint(tw, quarantine, frames)
+}
+
+// StreamConfig resolves the streaming stratifier configuration (the
+// campaign seed doubles as the reservoir-priority seed).
+func (c *CampaignRequest) StreamConfig() megsim.StreamConfig {
+	scfg := megsim.DefaultStreamConfig()
+	scfg.Seed = c.seed()
+	if c.Stream != nil {
+		if c.Stream.MaxStrata > 0 {
+			scfg.MaxStrata = c.Stream.MaxStrata
+		}
+		if c.Stream.ReservoirCap > 0 {
+			scfg.ReservoirCap = c.Stream.ReservoirCap
+		}
+	}
+	return scfg
 }
 
 // hashKey hashes a canonical JSON encoding under a short prefix.

@@ -54,6 +54,49 @@ func NewResilienceSummary(rrun *megsim.ResilientRun) *ResilienceSummary {
 	return sum
 }
 
+// StreamingSummary describes the online first phase of a streaming
+// campaign: how many strata the stream settled into, how often the
+// stratifier was forced to coarsen, and what a mid-stream resume
+// skipped.
+type StreamingSummary struct {
+	Strata        int    `json:"strata"`
+	Merges        int    `json:"merges"`
+	ResumedFrames int    `json:"resumed_frames,omitempty"`
+	ResumeError   string `json:"resume_error,omitempty"`
+}
+
+// NewStreamingResilienceSummary maps a streaming run's supervision and
+// degradation onto the shared summary shape (strata stand in for
+// clusters).
+func NewStreamingResilienceSummary(srun *megsim.StreamingRun) *ResilienceSummary {
+	sup := srun.Supervision
+	if sup == nil {
+		return nil
+	}
+	sum := &ResilienceSummary{
+		Degraded:    srun.Degraded(),
+		Coverage:    1.0,
+		Quarantined: sup.Quarantined,
+		Resumed:     sup.Resumed,
+		Retried:     sup.Retried,
+		Requeued:    sup.Requeued,
+		Stalled:     sup.StalledWorkers,
+	}
+	if d := srun.Degradation; d != nil {
+		if srun.Selection != nil && srun.Selection.Frames > 0 {
+			sum.Coverage = float64(d.CoveredFrames) / float64(srun.Selection.Frames)
+		}
+		for _, s := range d.Substitutions {
+			sum.Substitutions = append(sum.Substitutions, megsim.Substitution{Cluster: s.Stratum, Original: s.From, Substitute: s.To})
+		}
+		sum.LostClusters = d.LostStrata
+	}
+	if sup.ResumeErr != nil {
+		sum.ResumeError = sup.ResumeErr.Error()
+	}
+	return sum
+}
+
 // CampaignReport is the final result of a campaign — exactly the
 // summary the megsim CLI prints, as plain data. The service stores the
 // rendered JSON once per job, so every client polling the same job
@@ -76,6 +119,9 @@ type CampaignReport struct {
 	L2Accesses    uint64             `json:"estimated_l2_accesses"`
 	TileAccesses  uint64             `json:"estimated_tile_cache_accesses"`
 	Resilience    *ResilienceSummary `json:"resilience,omitempty"`
+	// Streaming is present for streaming campaigns: Clusters then
+	// counts strata and ExploredK is 0 (no k-search runs online).
+	Streaming *StreamingSummary `json:"streaming,omitempty"`
 }
 
 // NewCampaignReport summarizes a resilient run.
@@ -97,6 +143,33 @@ func NewCampaignReport(rrun *megsim.ResilientRun, sampled time.Duration) *Campai
 	}
 }
 
+// NewStreamingCampaignReport summarizes a streaming sampling run.
+func NewStreamingCampaignReport(srun *megsim.StreamingRun, sampled time.Duration) *CampaignReport {
+	sel := srun.Selection
+	sum := &StreamingSummary{
+		Strata:        sel.NumStrata(),
+		Merges:        sel.Merges,
+		ResumedFrames: srun.ResumedFrames,
+	}
+	if srun.StreamResumeErr != nil {
+		sum.ResumeError = srun.StreamResumeErr.Error()
+	}
+	return &CampaignReport{
+		Workload:        sel.Workload,
+		Frames:          sel.Frames,
+		Clusters:        sel.NumStrata(),
+		Representatives: sel.Representatives(),
+		Reduction:       sel.ReductionFactor(),
+		SampledMillis:   sampled.Milliseconds(),
+		Cycles:          srun.Estimate.Cycles,
+		DRAMAccesses:    srun.Estimate.DRAM.Accesses,
+		L2Accesses:      srun.Estimate.L2.Accesses,
+		TileAccesses:    srun.Estimate.TileCache.Accesses,
+		Resilience:      NewStreamingResilienceSummary(srun),
+		Streaming:       sum,
+	}
+}
+
 // WriteJSON writes the report as indented JSON (the service's result
 // payload and the CLI's -json output).
 func (r *CampaignReport) WriteJSON(w io.Writer) error {
@@ -110,7 +183,17 @@ func (r *CampaignReport) WriteJSON(w io.Writer) error {
 // megsimd daemon.
 func (r *CampaignReport) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "workload:        %s (%d frames)\n", r.Workload, r.Frames)
-	fmt.Fprintf(w, "clusters:        %d (explored k=1..%d)\n", r.Clusters, r.ExploredK)
+	if s := r.Streaming; s != nil {
+		fmt.Fprintf(w, "strata:          %d (streaming, %d merges)\n", s.Strata, s.Merges)
+		if s.ResumeError != "" {
+			fmt.Fprintf(w, "WARNING: stream resume failed, re-ingested from frame 0: %v\n", s.ResumeError)
+		}
+		if s.ResumedFrames > 0 {
+			fmt.Fprintf(w, "stream resume:   skipped re-characterizing %d frames\n", s.ResumedFrames)
+		}
+	} else {
+		fmt.Fprintf(w, "clusters:        %d (explored k=1..%d)\n", r.Clusters, r.ExploredK)
+	}
 	fmt.Fprintf(w, "representatives: %v\n", r.Representatives)
 	fmt.Fprintf(w, "reduction:       %.0fx fewer frames\n", r.Reduction)
 	fmt.Fprintf(w, "sampled run:     %v total\n", time.Duration(r.SampledMillis)*time.Millisecond)

@@ -80,6 +80,9 @@ type Config struct {
 	// Dispatcher, when non-nil, sources each campaign's frame function
 	// (coordinator mode); nil runs frames on the in-process simulator.
 	Dispatcher Dispatcher
+	// MaxStreamSessions bounds concurrently open chunked-upload stream
+	// sessions (0 = DefaultMaxStreamSessions).
+	MaxStreamSessions int
 	// TenantRate enables per-tenant token-bucket admission: each tenant
 	// (the X-Megsim-Tenant header; empty = anonymous) refills at this
 	// many submissions per second, bursting to TenantBurst. Zero or
@@ -110,6 +113,7 @@ type Server struct {
 	store   *Store
 	queue   *admissionQueue
 	tenants *tenantLimiter
+	streams *streamStore
 	mux     *http.ServeMux
 
 	jobsCtx    context.Context
@@ -123,6 +127,9 @@ type Server struct {
 	throttled                    *obs.Counter
 	executed, completed, failed  *obs.Counter
 	degradedJobs, interrupted    *obs.Counter
+
+	streamsOpened, streamsFinished *obs.Counter
+	streamChunks                   *obs.Counter
 }
 
 // New builds a Server and starts its worker pool.
@@ -146,6 +153,7 @@ func New(cfg Config) *Server {
 		store:        NewStore(),
 		queue:        newAdmissionQueue(cfg.QueueCapacity),
 		tenants:      newTenantLimiter(cfg.TenantRate, cfg.TenantBurst, nil),
+		streams:      newStreamStore(cfg.MaxStreamSessions),
 		jobsCtx:      ctx,
 		cancelJobs:   cancel,
 		submitted:    reg.Counter("serve.jobs.submitted"),
@@ -158,11 +166,19 @@ func New(cfg Config) *Server {
 		degradedJobs: reg.Counter("serve.jobs.degraded"),
 		interrupted:  reg.Counter("serve.jobs.interrupted"),
 	}
+	s.streamsOpened = reg.Counter("serve.streams.opened")
+	s.streamsFinished = reg.Counter("serve.streams.finished")
+	s.streamChunks = reg.Counter("serve.streams.chunks")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /api/v1/streams", s.handleStreamOpen)
+	s.mux.HandleFunc("GET /api/v1/streams/{id}", s.handleStreamStatus)
+	s.mux.HandleFunc("POST /api/v1/streams/{id}/chunks", s.handleStreamChunk)
+	s.mux.HandleFunc("POST /api/v1/streams/{id}/finish", s.handleStreamFinish)
+	s.mux.HandleFunc("DELETE /api/v1/streams/{id}", s.handleStreamAbort)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for w := 0; w < workers; w++ {
@@ -272,6 +288,9 @@ func (s *Server) finishInterrupted(j *Job, msg string) {
 // FrameStats cache wrapped around the frame runner.
 func (s *Server) execute(ctx context.Context, j *Job) (*CampaignReport, error) {
 	req := j.Req
+	if req.Stream != nil {
+		return s.executeStreaming(ctx, j)
+	}
 	wkey := req.WorkloadKey()
 	tr, err := s.cache.Trace(ctx, wkey, req.BuildTrace)
 	if err != nil {

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/funcsim"
+	"repro/internal/gltrace"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/megsim"
+)
+
+// Chunked-upload stream sessions: the daemon-side face of streaming
+// campaigns. A client opens a session with a streaming campaign request,
+// feeds the workload's frames in chunks of whatever size it likes, and
+// finishes; the accumulated strata snapshot is handed to a phase-2 job
+// through the same admission queue, dedup store and result cache every
+// campaign uses. Session memory is bounded exactly like the ingestor's:
+// per-frame state lives only while the frame sits in a stratum
+// reservoir, and the ingestor's eviction hook releases it the moment it
+// stops being a candidate.
+
+const (
+	// DefaultMaxStreamSessions bounds concurrently open sessions.
+	DefaultMaxStreamSessions = 16
+	// maxChunkCount bounds one chunk's frame count.
+	maxChunkCount = 1 << 16
+)
+
+// streamSession is one open chunked-upload stream.
+type streamSession struct {
+	mu       sync.Mutex
+	id       string
+	req      *CampaignRequest
+	tr       *gltrace.Trace
+	streamer *funcsim.Streamer
+	ing      *stream.Ingestor
+	// members is the per-frame payload the session pins: exactly the
+	// frames currently sitting in some stratum reservoir. The
+	// ingestor's OnEvict hook releases entries the moment a frame stops
+	// being a representative candidate, so len(members) is bounded by
+	// the vector budget however long the stream runs.
+	members  map[int]bool
+	released int
+	state    string // "open", "finished", "aborted"
+	jobID    string
+	final    *StreamStatus // frozen status once closed
+}
+
+// StreamStatus is the poll document of GET /api/v1/streams/{id}.
+type StreamStatus struct {
+	ID             string `json:"id"`
+	Workload       string `json:"workload"`
+	FramesTotal    int    `json:"frames_total"`
+	FramesIngested int    `json:"frames_ingested"`
+	Strata         int    `json:"strata"`
+	Merges         int    `json:"merges"`
+	LiveVectors    int    `json:"live_vectors"`
+	PeakVectors    int    `json:"peak_vectors"`
+	VectorBudget   int    `json:"vector_budget"`
+	PinnedFrames   int    `json:"pinned_frames"`
+	ReleasedFrames int    `json:"released_frames"`
+	State          string `json:"state"`
+	JobID          string `json:"job_id,omitempty"`
+}
+
+// status snapshots the session. Callers hold sess.mu.
+func (sess *streamSession) statusLocked() StreamStatus {
+	if sess.final != nil {
+		return *sess.final
+	}
+	return StreamStatus{
+		ID:             sess.id,
+		Workload:       sess.tr.Name,
+		FramesTotal:    sess.tr.NumFrames(),
+		FramesIngested: sess.ing.Frames(),
+		Strata:         sess.ing.NumStrata(),
+		Merges:         sess.ing.Merges(),
+		LiveVectors:    sess.ing.LiveVectors(),
+		PeakVectors:    sess.ing.PeakVectors(),
+		VectorBudget:   sess.ing.VectorBudget(),
+		PinnedFrames:   len(sess.members),
+		ReleasedFrames: sess.released,
+		State:          sess.state,
+		JobID:          sess.jobID,
+	}
+}
+
+// closeLocked freezes the status and drops the heavy ingest state so a
+// finished or aborted session costs only its status document.
+func (sess *streamSession) closeLocked(state string) {
+	sess.state = state
+	st := sess.statusLocked()
+	sess.final = &st
+	sess.streamer = nil
+	sess.ing = nil
+	sess.members = nil
+	sess.tr = nil
+}
+
+// streamStore registers open sessions under a concurrency bound.
+type streamStore struct {
+	mu    sync.Mutex
+	seq   int
+	byID  map[string]*streamSession
+	open  int
+	limit int
+}
+
+func newStreamStore(limit int) *streamStore {
+	if limit <= 0 {
+		limit = DefaultMaxStreamSessions
+	}
+	return &streamStore{byID: map[string]*streamSession{}, limit: limit}
+}
+
+// add registers a session if the open-session bound allows another.
+func (st *streamStore) add(sess *streamSession) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.open >= st.limit {
+		return "", false
+	}
+	st.seq++
+	sess.id = fmt.Sprintf("stream-%06d", st.seq)
+	st.byID[sess.id] = sess
+	st.open++
+	return sess.id, true
+}
+
+func (st *streamStore) get(id string) (*streamSession, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sess, ok := st.byID[id]
+	return sess, ok
+}
+
+// closed releases one open slot (the session stays pollable).
+func (st *streamStore) closed() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.open > 0 {
+		st.open--
+	}
+}
+
+// StreamOpenResponse answers POST /api/v1/streams.
+type StreamOpenResponse struct {
+	StreamID string `json:"stream_id"`
+	Workload string `json:"workload"`
+	// FramesTotal is the full workload length; a session may finish
+	// after fewer (the estimate then covers the streamed prefix).
+	FramesTotal int `json:"frames_total"`
+}
+
+// streamChunkRequest is the body of POST /api/v1/streams/{id}/chunks:
+// replay the next Count frames of the workload into the stratifier.
+type streamChunkRequest struct {
+	Count int `json:"count"`
+}
+
+// StreamFinishResponse answers POST /api/v1/streams/{id}/finish.
+type StreamFinishResponse struct {
+	StreamID string `json:"stream_id"`
+	SubmitResponse
+}
+
+func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	if s.tenants != nil {
+		tenant := r.Header.Get(TenantHeader)
+		if ok, retry := s.tenants.Admit(tenant); !ok {
+			s.throttled.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("tenant %q over its submission rate; retry later", tenant))
+			return
+		}
+	}
+	req, err := DecodeCampaignRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Stream == nil {
+		writeError(w, http.StatusBadRequest, "stream session needs a stream spec")
+		return
+	}
+	tr, err := s.cache.Trace(r.Context(), req.WorkloadKey(), req.BuildTrace)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("build trace: %v", err))
+		return
+	}
+	streamer, err := funcsim.NewStreamer(tr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("open stream: %v", err))
+		return
+	}
+	sess := &streamSession{
+		req:      req,
+		tr:       tr,
+		streamer: streamer,
+		members:  map[int]bool{},
+		state:    "open",
+	}
+	scfg := req.StreamConfig()
+	scfg.OnEvict = func(frame int) {
+		// Runs inside ing.Add under sess.mu: the frame left every
+		// reservoir, so its pinned payload goes with it.
+		delete(sess.members, frame)
+		sess.released++
+	}
+	vs, fs := streamer.Static()
+	sess.ing = stream.NewIngestor(tr.Name, vs, fs, scfg)
+	id, ok := s.streams.add(sess)
+	if !ok {
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(1, 1, req.WorkloadKey())))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("open stream sessions at capacity (%d); retry later", s.streams.limit))
+		return
+	}
+	s.streamsOpened.Inc()
+	s.logf("serve: %s opened (%s, %d frames)", id, tr.Name, tr.NumFrames())
+	writeJSON(w, http.StatusCreated, StreamOpenResponse{StreamID: id, Workload: tr.Name, FramesTotal: tr.NumFrames()})
+}
+
+func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream")
+		return
+	}
+	sess.mu.Lock()
+	st := sess.statusLocked()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	sess, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream")
+		return
+	}
+	var creq streamChunkRequest
+	if err := decodeBody(r.Body, &creq); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if creq.Count < 1 || creq.Count > maxChunkCount {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("chunk count %d out of [1, %d]", creq.Count, maxChunkCount))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state != "open" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", sess.state))
+		return
+	}
+	remaining := sess.tr.NumFrames() - sess.ing.Frames()
+	if remaining == 0 {
+		writeError(w, http.StatusConflict, "stream exhausted the workload; finish it")
+		return
+	}
+	count := creq.Count
+	if count > remaining {
+		count = remaining
+	}
+	var prof funcsim.FrameProfile
+	for i := 0; i < count; i++ {
+		f := sess.ing.Frames()
+		if err := sess.streamer.ProfileAt(&prof, f); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
+			return
+		}
+		// Pin before Add: the eviction hook may release this very frame
+		// during ingest (it never made any reservoir).
+		sess.members[f] = true
+		if err := sess.ing.Add(&prof); err != nil {
+			delete(sess.members, f)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
+			return
+		}
+	}
+	s.streamChunks.Inc()
+	writeJSON(w, http.StatusOK, sess.statusLocked())
+}
+
+func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	sess, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state != "open" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", sess.state))
+		return
+	}
+	frames := sess.ing.Frames()
+	if frames == 0 {
+		writeError(w, http.StatusBadRequest, "empty stream: ingest at least one chunk before finishing")
+		return
+	}
+	snap, err := sess.ing.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("strata snapshot: %v", err))
+		return
+	}
+	// A session that consumed the whole workload is the same campaign a
+	// direct streaming submission names — share its fingerprint (and
+	// therefore its cached result).
+	fpFrames := frames
+	if frames == sess.tr.NumFrames() {
+		fpFrames = 0
+	}
+	fp := sess.req.StreamFingerprint(fpFrames)
+	s.submitted.Inc()
+	j, fresh := s.store.Submit(sess.req, fp, time.Now())
+	if fresh {
+		j.StreamSnapshot = snap
+		j.StreamMaxFrames = frames
+		if !s.queue.TryEnqueue(j) {
+			// Admission refused: the session stays open so the client
+			// can retry the finish later.
+			s.store.Remove(j)
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.queue.Depth(), s.queue.Capacity(), fp)))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("admission queue full (capacity %d); retry later", s.queue.Capacity()))
+			return
+		}
+	} else {
+		s.deduped.Inc()
+	}
+	sess.jobID = j.ID
+	sess.closeLocked("finished")
+	s.streams.closed()
+	s.streamsFinished.Inc()
+	s.logf("serve: %s finished after %d frames -> %s", sess.id, frames, j.ID)
+	writeJSON(w, http.StatusAccepted, StreamFinishResponse{
+		StreamID:       sess.id,
+		SubmitResponse: SubmitResponse{JobID: j.ID, Fingerprint: fp, State: j.State(), Deduped: !fresh},
+	})
+}
+
+func (s *Server) handleStreamAbort(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state != "open" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", sess.state))
+		return
+	}
+	sess.closeLocked("aborted")
+	s.streams.closed()
+	s.logf("serve: %s aborted", sess.id)
+	writeJSON(w, http.StatusOK, sess.statusLocked())
+}
+
+// decodeBody strictly decodes one small JSON document.
+func decodeBody(r io.Reader, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r, MaxRequestBytes+1))
+	if err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	if len(body) > MaxRequestBytes {
+		return fmt.Errorf("decode body: exceeds %d bytes", MaxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode body: trailing data")
+	}
+	return nil
+}
+
+// executeStreaming runs a streaming campaign job: the online stratifier
+// replaces batch characterization/selection, phase 2 reuses the same
+// per-representative FrameStats cache (and dispatcher, in coordinator
+// mode) as batch campaigns, and a session-submitted job is seeded from
+// the session's strata snapshot so ingest work is never redone.
+func (s *Server) executeStreaming(ctx context.Context, j *Job) (*CampaignReport, error) {
+	req := j.Req
+	tr, err := s.cache.Trace(ctx, req.WorkloadKey(), req.BuildTrace)
+	if err != nil {
+		return nil, fmt.Errorf("build trace: %w", err)
+	}
+	gpu, err := req.GPUConfig()
+	if err != nil {
+		return nil, err
+	}
+	fp := megsim.RunFingerprint(tr, gpu)
+	inner := megsim.FrameRunner(tr, gpu)
+	if s.cfg.Dispatcher != nil {
+		inner = s.cfg.Dispatcher.FrameRunner(fp, req)
+	}
+	fn := s.cache.FrameRunner(fp, inner)
+
+	jobReg := obs.NewWith(obs.Options{TraceCapacity: -1})
+	rcfg := req.ResilienceConfig()
+	rcfg.Obs = jobReg
+	rcfg.Fingerprint = fp
+	if s.cfg.CheckpointDir != "" {
+		rcfg.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, j.Fingerprint+".ckpt")
+		rcfg.Resume = true
+	}
+	rcfg.Log = s.cfg.Log
+
+	opts := megsim.StreamingOptions{
+		Stream:     req.StreamConfig(),
+		Resilience: rcfg,
+		EagerEvery: req.Stream.EagerEvery,
+		Runner:     fn,
+		Snapshot:   j.StreamSnapshot,
+		MaxFrames:  j.StreamMaxFrames,
+	}
+	start := time.Now()
+	s.executed.Inc()
+	srun, err := megsim.SampleStreaming(ctx, tr, opts, gpu)
+	s.reg.Merge(jobReg)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamingCampaignReport(srun, time.Since(start)), nil
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// streamCampaignBody is the canonical streaming test campaign: the
+// `service` preset workload with a stream spec spliced in.
+func streamCampaignBody(streamSpec string) string {
+	sc := harness.ServiceOptions().Scale
+	return fmt.Sprintf(
+		`{"workload":{"benchmark":"hcr","width":%d,"height":%d,"frame_div":%d,"detail_div":%d},`+
+			`"gpu":{"tile_workers":2},"stream":{%s}}`,
+		sc.Width, sc.Height, sc.FrameDivisor, sc.DetailDivisor, streamSpec)
+}
+
+func streamPost(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, raw
+}
+
+func openStream(t *testing.T, ts *httptest.Server, body string) StreamOpenResponse {
+	t.Helper()
+	code, raw := streamPost(t, ts, "/api/v1/streams", body)
+	if code != http.StatusCreated {
+		t.Fatalf("open stream: status %d: %s", code, raw)
+	}
+	var open StreamOpenResponse
+	if err := json.Unmarshal(raw, &open); err != nil {
+		t.Fatalf("decode open response: %v", err)
+	}
+	return open
+}
+
+func streamStatus(t *testing.T, ts *httptest.Server, id string) StreamStatus {
+	t.Helper()
+	code, raw := getJSON(t, ts, "/api/v1/streams/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("stream status: %d: %s", code, raw)
+	}
+	var st StreamStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decode stream status: %v", err)
+	}
+	return st
+}
+
+// TestStreamSessionLifecycle: a session fed in ragged chunks finishes
+// into a normal job whose streaming report matches — byte for byte —
+// the report of the identical campaign submitted directly. A session
+// that consumed the whole workload even shares the direct submission's
+// fingerprint, so the second execution is a pure cache hit.
+func TestStreamSessionLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	body := streamCampaignBody(`"max_strata":8,"reservoir_cap":4`)
+
+	open := openStream(t, ts, body)
+	if open.FramesTotal == 0 {
+		t.Fatal("no frames in workload")
+	}
+
+	// Ragged chunk sizes, the last one deliberately over-long: the
+	// service clamps to the frames that remain.
+	ingested := 0
+	for _, chunk := range []int{1, 7, open.FramesTotal} {
+		code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks",
+			fmt.Sprintf(`{"count":%d}`, chunk))
+		if code != http.StatusOK {
+			t.Fatalf("chunk: status %d: %s", code, raw)
+		}
+		var st StreamStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if chunk > open.FramesTotal-ingested {
+			chunk = open.FramesTotal - ingested
+		}
+		ingested += chunk
+		if st.FramesIngested != ingested {
+			t.Fatalf("ingested %d frames, want %d", st.FramesIngested, ingested)
+		}
+		if st.PinnedFrames > st.VectorBudget {
+			t.Fatalf("session pins %d frames, budget %d", st.PinnedFrames, st.VectorBudget)
+		}
+		if st.PinnedFrames+st.ReleasedFrames != st.FramesIngested {
+			t.Fatalf("pinned %d + released %d != ingested %d",
+				st.PinnedFrames, st.ReleasedFrames, st.FramesIngested)
+		}
+	}
+
+	code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/finish", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("finish: status %d: %s", code, raw)
+	}
+	var fin StreamFinishResponse
+	if err := json.Unmarshal(raw, &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.Deduped {
+		t.Fatal("first finish deduped")
+	}
+	st := waitTerminal(t, ts, fin.JobID)
+	if st.State != JobSucceeded {
+		t.Fatalf("stream job: %+v", st)
+	}
+	_, sessionReport := getJSON(t, ts, "/api/v1/jobs/"+fin.JobID+"/result")
+
+	// The session is closed (chunking now conflicts) but still pollable.
+	if code, _ := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks", `{"count":1}`); code != http.StatusConflict {
+		t.Fatalf("chunk after finish: status %d", code)
+	}
+	if got := streamStatus(t, ts, open.StreamID); got.State != "finished" || got.JobID != fin.JobID {
+		t.Fatalf("closed session status: %+v", got)
+	}
+
+	// The identical campaign submitted directly dedups onto the session's
+	// job: same fingerprint, same cached bytes, no second execution.
+	executedBefore := counter(s, "serve.jobs.executed")
+	sub := submitOK(t, ts, body)
+	if !sub.Deduped || sub.JobID != fin.JobID || sub.Fingerprint != fin.Fingerprint {
+		t.Fatalf("direct submission did not dedup onto stream job: %+v vs %+v", sub, fin)
+	}
+	_, directReport := getJSON(t, ts, "/api/v1/jobs/"+sub.JobID+"/result")
+	if !bytes.Equal(sessionReport, directReport) {
+		t.Fatal("session and direct reports differ")
+	}
+	if got := counter(s, "serve.jobs.executed"); got != executedBefore {
+		t.Fatalf("dedup executed a second run (%d -> %d)", executedBefore, got)
+	}
+
+	var rep CampaignReport
+	if err := json.Unmarshal(sessionReport, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streaming == nil || rep.Streaming.Strata == 0 {
+		t.Fatalf("report has no streaming summary: %s", sessionReport)
+	}
+	if rep.Streaming.ResumedFrames != open.FramesTotal {
+		t.Fatalf("job re-ingested: resumed %d of %d frames", rep.Streaming.ResumedFrames, open.FramesTotal)
+	}
+	if rep.Frames != open.FramesTotal {
+		t.Fatalf("report frames %d, workload %d", rep.Frames, open.FramesTotal)
+	}
+}
+
+// TestStreamPartialFinish: finishing mid-workload is a first-class
+// campaign over the streamed prefix — its report covers exactly the
+// ingested frames, and its fingerprint is distinct from the full
+// stream's so the two never share a cache entry.
+func TestStreamPartialFinish(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	body := streamCampaignBody(`"max_strata":8,"reservoir_cap":4`)
+
+	open := openStream(t, ts, body)
+	cut := open.FramesTotal / 2
+	if code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks",
+		fmt.Sprintf(`{"count":%d}`, cut)); code != http.StatusOK {
+		t.Fatalf("chunk: %d: %s", code, raw)
+	}
+	code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/finish", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("finish: %d: %s", code, raw)
+	}
+	var fin StreamFinishResponse
+	if err := json.Unmarshal(raw, &fin); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, ts, fin.JobID); st.State != JobSucceeded {
+		t.Fatalf("partial stream job: %+v", st)
+	}
+	_, rawRep := getJSON(t, ts, "/api/v1/jobs/"+fin.JobID+"/result")
+	var rep CampaignReport
+	if err := json.Unmarshal(rawRep, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != cut {
+		t.Fatalf("partial report covers %d frames, want %d", rep.Frames, cut)
+	}
+
+	// A full direct submission must NOT collide with the prefix campaign.
+	sub := submitOK(t, ts, body)
+	if sub.Fingerprint == fin.Fingerprint {
+		t.Fatal("partial and full streams share a fingerprint")
+	}
+}
+
+// TestStreamSessionValidation: the malformed-request surface — missing
+// stream spec, unknown ids, bad chunk counts, empty finish, bad JSON,
+// out-of-range stream parameters.
+func TestStreamSessionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+
+	if code, _ := streamPost(t, ts, "/api/v1/streams", serviceCampaignBody(2, "")); code != http.StatusBadRequest {
+		t.Fatalf("open without stream spec: %d", code)
+	}
+	if code, _ := streamPost(t, ts, "/api/v1/streams",
+		streamCampaignBody(`"max_strata":100000`)); code != http.StatusBadRequest {
+		t.Fatalf("open with oversize max_strata: %d", code)
+	}
+	if code, _ := getJSON(t, ts, "/api/v1/streams/stream-999999"); code != http.StatusNotFound {
+		t.Fatalf("status of unknown stream: %d", code)
+	}
+	if code, _ := streamPost(t, ts, "/api/v1/streams/stream-999999/chunks", `{"count":1}`); code != http.StatusNotFound {
+		t.Fatalf("chunk to unknown stream: %d", code)
+	}
+
+	open := openStream(t, ts, streamCampaignBody(`"max_strata":8,"reservoir_cap":4`))
+	base := "/api/v1/streams/" + open.StreamID
+	for _, bad := range []string{`{"count":0}`, `{"count":-3}`, fmt.Sprintf(`{"count":%d}`, maxChunkCount+1),
+		`{"count":1,"bogus":true}`, `not json`, `{"count":1}{"count":1}`} {
+		if code, _ := streamPost(t, ts, base+"/chunks", bad); code != http.StatusBadRequest {
+			t.Fatalf("chunk body %q: status %d, want 400", bad, code)
+		}
+	}
+	if code, _ := streamPost(t, ts, base+"/finish", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("finish of empty stream: %d", code)
+	}
+
+	// Abort closes the session; everything but status now conflicts.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("abort: %d", resp.StatusCode)
+	}
+	if code, _ := streamPost(t, ts, base+"/chunks", `{"count":1}`); code != http.StatusConflict {
+		t.Fatalf("chunk after abort: %d", code)
+	}
+	if code, _ := streamPost(t, ts, base+"/finish", `{}`); code != http.StatusConflict {
+		t.Fatalf("finish after abort: %d", code)
+	}
+	if st := streamStatus(t, ts, open.StreamID); st.State != "aborted" {
+		t.Fatalf("aborted session state %q", st.State)
+	}
+}
+
+// TestStreamSessionCapacity: the open-session bound returns 429 with a
+// Retry-After, and aborting a session frees its slot.
+func TestStreamSessionCapacity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8, MaxStreamSessions: 1})
+	body := streamCampaignBody(`"max_strata":8,"reservoir_cap":4`)
+
+	open := openStream(t, ts, body)
+	resp, err := http.Post(ts.URL+"/api/v1/streams", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity open: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/streams/"+open.StreamID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	openStream(t, ts, body) // slot freed
+}

@@ -1,0 +1,42 @@
+package stream
+
+// vecAccount is the ingestor's feature-vector allocator. Every raw
+// per-frame vector the ingestor holds — stratum sums, reservoir
+// members, the per-frame scratch — is obtained from get and returned
+// through put, so Live is exactly the number of vectors alive and Peak
+// its high-water mark. The bounded-memory tests assert Peak against
+// the O(strata + reservoir) budget; nothing about the accounting is
+// test-only, it is the package's own proof obligation that it never
+// materializes per-frame state for the whole stream.
+type vecAccount struct {
+	live int
+	peak int
+	free [][]float64
+}
+
+// get returns a zeroed vector of length n, reusing a freed one when
+// available.
+func (a *vecAccount) get(n int) []float64 {
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	if k := len(a.free); k > 0 {
+		v := a.free[k-1]
+		a.free = a.free[:k-1]
+		if cap(v) >= n {
+			v = v[:n]
+			for i := range v {
+				v[i] = 0
+			}
+			return v
+		}
+	}
+	return make([]float64, n)
+}
+
+// put releases a vector back to the account.
+func (a *vecAccount) put(v []float64) {
+	a.live--
+	a.free = append(a.free, v)
+}

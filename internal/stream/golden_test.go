@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the streaming selection goldens")
+
+// goldenSeed pins everything the streaming first phase decides for one
+// oracle seed, alongside the batch pipeline's view of the same frames:
+// any change to stratification, reservoir policy, normalization or the
+// feature vectors shows up as a golden diff, reviewed rather than
+// silently absorbed.
+type goldenSeed struct {
+	Seed      uint64    `json:"seed"`
+	Workload  string    `json:"workload"`
+	Frames    int       `json:"frames"`
+	Merges    int       `json:"merges"`
+	Strata    []Stratum `json:"strata"`
+	BatchK    int       `json:"batchK"`
+	BatchReps []int     `json:"batchReps"`
+	// Agreement is the Rand index between the streaming strata and the
+	// batch clustering — pairwise co-membership agreement over all
+	// frames. Deterministic, so pinned exactly.
+	Agreement float64 `json:"agreement"`
+}
+
+// pairAgreement is the Rand index of two partitions of the same frames.
+func pairAgreement(a, b []int) float64 {
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	agree, pairs := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(pairs)
+}
+
+// TestGoldenStreamingSelection computes the streaming and batch
+// selections for oracle seeds 1-3 and compares against the committed
+// goldens under testdata/. Regenerate with `go test -run
+// TestGoldenStreamingSelection -update ./internal/stream`.
+func TestGoldenStreamingSelection(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		d := seedResult(t, seed)
+
+		scfg := DefaultConfig()
+		scfg.Seed = seed
+		scfg.TrackAssignments = true
+		in := newTestIngestor(d, scfg)
+		if err := in.AddChunk(d.fr.Profiles); err != nil {
+			t.Fatalf("seed %d: ingest: %v", seed, err)
+		}
+		sel, err := in.Finalize()
+		if err != nil {
+			t.Fatalf("seed %d: finalize: %v", seed, err)
+		}
+		assign, err := in.Assignments()
+		if err != nil {
+			t.Fatalf("seed %d: assignments: %v", seed, err)
+		}
+
+		// Batch view of the identical frames, exactly as the oracle runs
+		// it (the batch seed is the methodology default, not the
+		// workload seed).
+		mcfg := core.DefaultConfig()
+		fs, err := core.BuildFeatures(d.fr, mcfg.Feature)
+		if err != nil {
+			t.Fatalf("seed %d: features: %v", seed, err)
+		}
+		bsel, err := core.Select(fs, mcfg)
+		if err != nil {
+			t.Fatalf("seed %d: batch select: %v", seed, err)
+		}
+
+		got := goldenSeed{
+			Seed:      seed,
+			Workload:  sel.Workload,
+			Frames:    sel.Frames,
+			Merges:    sel.Merges,
+			Strata:    sel.Strata,
+			BatchK:    bsel.Clusters.K,
+			BatchReps: bsel.Representatives,
+			Agreement: pairAgreement(bsel.Clusters.Assign, assign),
+		}
+		if got.Agreement < 0.9 {
+			t.Errorf("seed %d: streaming/batch agreement %.3f below 0.9", seed, got.Agreement)
+		}
+
+		path := filepath.Join("testdata", goldenName(seed))
+		if *updateGolden {
+			b, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed %d: %v (regenerate with -update)", seed, err)
+		}
+		var want goldenSeed
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("seed %d: corrupt golden: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: selection deviates from golden %s (regenerate with -update if intended)\n got strata=%d merges=%d agreement=%.4f\nwant strata=%d merges=%d agreement=%.4f",
+				seed, path, len(got.Strata), got.Merges, got.Agreement, len(want.Strata), want.Merges, want.Agreement)
+		}
+	}
+}
+
+func goldenName(seed uint64) string {
+	return "stream_seed" + string('0'+rune(seed)) + ".json"
+}

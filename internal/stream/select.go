@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tbr"
+)
+
+// Stratum is one finalized stratum of a streaming selection.
+type Stratum struct {
+	// Label is the stratum's stable ingest-time identity.
+	Label int `json:"label"`
+	// Count is the number of member frames — the extrapolation weight.
+	Count int `json:"count"`
+	// Representative is the reservoir member closest to the final
+	// centroid: the frame simulated for this stratum.
+	Representative int `json:"representative"`
+	// Alternates are the remaining reservoir members ordered by
+	// centroid distance (ties toward the lower frame): the substitution
+	// ladder when the representative is quarantined.
+	Alternates []int `json:"alternates,omitempty"`
+}
+
+// Selection is the streaming second-phase plan: which frames to
+// simulate and with what extrapolation weights. It is the streaming
+// counterpart of core.Selection, deliberately without the N × D
+// feature matrix — a selection over an unbounded stream carries only
+// O(strata · reservoir) state.
+type Selection struct {
+	// Workload names the characterized stream.
+	Workload string `json:"workload"`
+	// Frames is the total number of frames ingested.
+	Frames int `json:"frames"`
+	// Strata are the finalized strata, in ingest label order.
+	Strata []Stratum `json:"strata"`
+	// Merges counts the forced stratum merges during ingest.
+	Merges int `json:"merges"`
+	// SpawnRadius is the final squared spawn radius.
+	SpawnRadius float64 `json:"spawnRadius"`
+}
+
+// Finalize freezes the current strata into a selection: each stratum's
+// representative is its reservoir member closest to the final centroid
+// (the streaming analogue of the batch closest-to-centroid rule), with
+// the remaining members ranked as substitution alternates. The
+// ingestor remains usable — more frames may be ingested and a later
+// Finalize reflects them.
+func (in *Ingestor) Finalize() (*Selection, error) {
+	if in.n == 0 {
+		return nil, fmt.Errorf("stream: no frames ingested")
+	}
+	k := in.scales()
+	sel := &Selection{
+		Workload:    in.name,
+		Frames:      in.n,
+		Merges:      in.merges,
+		SpawnRadius: in.spawnR,
+	}
+	for _, st := range in.strata {
+		type cand struct {
+			frame int
+			d     float64
+		}
+		cands := make([]cand, len(st.res))
+		for i, e := range st.res {
+			cands[i] = cand{e.frame, in.dist2ToCentroid(e.vec, st, k)}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].frame < cands[j].frame
+		})
+		s := Stratum{Label: st.label, Count: st.count, Representative: cands[0].frame}
+		for _, c := range cands[1:] {
+			s.Alternates = append(s.Alternates, c.frame)
+		}
+		sel.Strata = append(sel.Strata, s)
+	}
+	sort.Slice(sel.Strata, func(i, j int) bool { return sel.Strata[i].Label < sel.Strata[j].Label })
+	return sel, nil
+}
+
+// Representatives returns the frames to simulate, ascending.
+func (s *Selection) Representatives() []int {
+	out := make([]int, 0, len(s.Strata))
+	for _, st := range s.Strata {
+		out = append(out, st.Representative)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumStrata returns the stratum count.
+func (s *Selection) NumStrata() int { return len(s.Strata) }
+
+// ReductionFactor returns frames / representatives — the Table III
+// headline metric, streaming edition.
+func (s *Selection) ReductionFactor() float64 {
+	if len(s.Strata) == 0 {
+		return 0
+	}
+	return float64(s.Frames) / float64(len(s.Strata))
+}
+
+// Plan maps each stratum to the frame that should stand for it given a
+// quarantine set: the representative when healthy, else the first
+// non-quarantined alternate, else -1 (stratum lost). The ladder order
+// is the centroid-distance ranking, mirroring the batch degradation's
+// next-closest-in-cluster substitution.
+func (s *Selection) Plan(quarantined map[int]bool) []int {
+	plan := make([]int, len(s.Strata))
+	for i, st := range s.Strata {
+		plan[i] = -1
+		if !quarantined[st.Representative] {
+			plan[i] = st.Representative
+			continue
+		}
+		for _, alt := range st.Alternates {
+			if !quarantined[alt] {
+				plan[i] = alt
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// Degradation reports how a streaming estimate deviated from the
+// healthy plan: substituted representatives and lost strata.
+type Degradation struct {
+	// Substitutions lists strata whose representative was replaced by
+	// an alternate, in stratum order.
+	Substitutions []StreamSubstitution `json:"substitutions,omitempty"`
+	// LostStrata lists strata (indices into Selection.Strata) whose
+	// whole reservoir was quarantined; their weight was rescaled onto
+	// the surviving strata.
+	LostStrata []int `json:"lostStrata,omitempty"`
+	// CoveredFrames is the member count of the surviving strata.
+	CoveredFrames int `json:"coveredFrames"`
+}
+
+// StreamSubstitution records one representative substitution.
+type StreamSubstitution struct {
+	Stratum int `json:"stratum"`
+	From    int `json:"from"`
+	To      int `json:"to"`
+}
+
+// Degraded reports whether any substitution or loss happened.
+func (d *Degradation) Degraded() bool {
+	return d != nil && (len(d.Substitutions) > 0 || len(d.LostStrata) > 0)
+}
+
+// Estimate extrapolates full-stream statistics from simulated
+// representatives, exactly as the batch Estimate does: each stratum's
+// stats scale by its member count and sum (Section III-E).
+func (s *Selection) Estimate(repStats map[int]tbr.FrameStats) (tbr.FrameStats, error) {
+	est, deg, err := s.EstimateWith(s.Plan(nil), repStats)
+	if err != nil {
+		return tbr.FrameStats{}, err
+	}
+	if deg.Degraded() {
+		return tbr.FrameStats{}, fmt.Errorf("stream: healthy estimate degraded (internal error)")
+	}
+	return est, nil
+}
+
+// EstimateWith extrapolates from an explicit per-stratum plan (see
+// Plan): substituted frames stand in with the stratum's full weight,
+// and lost strata rescale the surviving estimate by
+// frames/coveredFrames — the same weight-rescale rule the batch
+// degradation applies to lost clusters.
+func (s *Selection) EstimateWith(plan []int, repStats map[int]tbr.FrameStats) (tbr.FrameStats, *Degradation, error) {
+	if len(plan) != len(s.Strata) {
+		return tbr.FrameStats{}, nil, fmt.Errorf("stream: plan has %d entries for %d strata", len(plan), len(s.Strata))
+	}
+	deg := &Degradation{}
+	var total tbr.FrameStats
+	for i, st := range s.Strata {
+		f := plan[i]
+		if f < 0 {
+			deg.LostStrata = append(deg.LostStrata, i)
+			continue
+		}
+		stat, ok := repStats[f]
+		if !ok {
+			return tbr.FrameStats{}, nil, fmt.Errorf("stream: missing simulated stats for frame %d (stratum %d)", f, i)
+		}
+		if f != st.Representative {
+			deg.Substitutions = append(deg.Substitutions, StreamSubstitution{Stratum: i, From: st.Representative, To: f})
+		}
+		deg.CoveredFrames += st.Count
+		scaled := stat.Scale(uint64(st.Count))
+		total.Add(&scaled)
+	}
+	if deg.CoveredFrames == 0 {
+		return tbr.FrameStats{}, deg, fmt.Errorf("stream: every stratum lost, nothing to estimate from")
+	}
+	if deg.CoveredFrames < s.Frames {
+		total = total.ScaleF(float64(s.Frames) / float64(deg.CoveredFrames))
+	}
+	total.Frame = -1
+	return total, deg, nil
+}

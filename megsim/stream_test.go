@@ -1,0 +1,205 @@
+package megsim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/megsim"
+)
+
+// TestSampleStreamingHealthy: the streaming flow over a healthy trace
+// produces a real selection with a reduction factor, an estimate, and
+// no degradation.
+func TestSampleStreamingHealthy(t *testing.T) {
+	tr := megsim.MustGenerateBenchmark("hcr", testScale())
+	srun, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{}, megsim.DefaultGPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srun.Degraded() {
+		t.Fatalf("healthy streaming run degraded: %+v", srun.Degradation)
+	}
+	if len(srun.Representatives()) == 0 || srun.ReductionFactor() <= 1 {
+		t.Fatalf("selection: reps=%d reduction=%v", len(srun.Representatives()), srun.ReductionFactor())
+	}
+	if srun.Estimate.Cycles == 0 {
+		t.Fatal("estimate has zero cycles")
+	}
+	if srun.Selection.Frames != tr.NumFrames() {
+		t.Fatalf("selection covers %d frames, trace has %d", srun.Selection.Frames, tr.NumFrames())
+	}
+}
+
+// normalizeReport zeroes the run-provenance fields that legitimately
+// differ between an interrupted-then-resumed campaign and an
+// uninterrupted one: wall time, the count of ingest frames skipped on
+// resume, and which phase-2 records were adopted from the checkpoint.
+// Every other byte of the report — selection, strata, estimates,
+// coverage — must be identical.
+func normalizeReport(rep *serve.CampaignReport) []byte {
+	rep.SampledMillis = 0
+	if rep.Streaming != nil {
+		rep.Streaming.ResumedFrames = 0
+	}
+	if rep.Resilience != nil {
+		rep.Resilience.Resumed = nil
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestSampleStreamingKillResume: a campaign killed mid-stream at varied
+// frame indices and resumed from its checkpoint must finish with a
+// report byte-identical (modulo provenance fields) to an uninterrupted
+// run — same strata, same representatives, same estimate. The kill is
+// modeled by truncating the stream with MaxFrames, which completes a
+// checkpoint whose strata snapshot sits at exactly the kill frame.
+func TestSampleStreamingKillResume(t *testing.T) {
+	tr := megsim.MustGenerateBenchmark("jjo", testScale())
+	gpu := megsim.DefaultGPUConfig()
+	n := tr.NumFrames()
+
+	ref, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{}, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := normalizeReport(serve.NewStreamingCampaignReport(ref, 0))
+
+	for _, kill := range []int{1, n / 3, 2 * n / 3} {
+		ckpt := filepath.Join(t.TempDir(), "stream.ckpt")
+
+		// Phase A: the doomed run — it gets through `kill` frames of
+		// ingest (and whatever phase 2 its partial strata wanted) before
+		// dying. Its checkpoint holds the strata snapshot at that frame.
+		if _, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{
+			MaxFrames:  kill,
+			Resilience: megsim.ResilienceConfig{CheckpointPath: ckpt},
+		}, gpu); err != nil {
+			t.Fatalf("kill=%d: truncated run: %v", kill, err)
+		}
+
+		// Phase B: resume over the full stream.
+		res, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{
+			Resilience: megsim.ResilienceConfig{CheckpointPath: ckpt, Resume: true},
+		}, gpu)
+		if err != nil {
+			t.Fatalf("kill=%d: resumed run: %v", kill, err)
+		}
+		if res.StreamResumeErr != nil {
+			t.Fatalf("kill=%d: stream resume fell back: %v", kill, res.StreamResumeErr)
+		}
+		if res.ResumedFrames != kill {
+			t.Fatalf("kill=%d: resumed %d ingest frames", kill, res.ResumedFrames)
+		}
+
+		if res.Estimate != ref.Estimate {
+			t.Fatalf("kill=%d: estimate diverged:\n got %+v\nwant %+v", kill, res.Estimate, ref.Estimate)
+		}
+		if !reflect.DeepEqual(res.Selection, ref.Selection) {
+			t.Fatalf("kill=%d: selection diverged", kill)
+		}
+		for _, f := range res.Representatives() {
+			if res.RepresentativeStats[f] != ref.RepresentativeStats[f] {
+				t.Fatalf("kill=%d: frame %d stats diverged", kill, f)
+			}
+		}
+		if got := normalizeReport(serve.NewStreamingCampaignReport(res, 0)); !bytes.Equal(got, refBytes) {
+			t.Fatalf("kill=%d: resumed report not byte-identical to uninterrupted run:\n%s\n---\n%s", kill, got, refBytes)
+		}
+	}
+}
+
+// TestSampleStreamingTileWorkersInvariant: the streaming estimate is
+// identical at tile-workers 1 and 4 — the sharded raster stage cannot
+// leak nondeterminism into the streaming flow. Runs under -race in the
+// dedicated stream CI job.
+func TestSampleStreamingTileWorkersInvariant(t *testing.T) {
+	tr := megsim.MustGenerateBenchmark("hcr", testScale())
+
+	runs := make([]*megsim.StreamingRun, 0, 2)
+	for _, tw := range []int{1, 4} {
+		gpu := megsim.DefaultGPUConfig()
+		gpu.TileWorkers = tw
+		srun, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{}, gpu)
+		if err != nil {
+			t.Fatalf("tile-workers %d: %v", tw, err)
+		}
+		runs = append(runs, srun)
+	}
+	if runs[0].Estimate != runs[1].Estimate {
+		t.Fatalf("estimate depends on tile-workers:\n tw=1 %+v\n tw=4 %+v", runs[0].Estimate, runs[1].Estimate)
+	}
+	if !reflect.DeepEqual(runs[0].Selection, runs[1].Selection) {
+		t.Fatal("selection depends on tile-workers")
+	}
+}
+
+// TestSampleStreamingEagerMatchesFinal: eagerly simulating mid-stream
+// representatives (EagerEvery > 0) is a warm cache, never a different
+// answer — the estimate and selection match the stream-end-only run.
+func TestSampleStreamingEagerMatchesFinal(t *testing.T) {
+	tr := megsim.MustGenerateBenchmark("hcr", testScale())
+	gpu := megsim.DefaultGPUConfig()
+
+	plain, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{}, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{EagerEvery: 7}, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Estimate != plain.Estimate {
+		t.Fatalf("eager estimate differs:\n got %+v\nwant %+v", eager.Estimate, plain.Estimate)
+	}
+	if !reflect.DeepEqual(eager.Selection, plain.Selection) {
+		t.Fatal("eager selection differs")
+	}
+}
+
+// TestSampleStreamingQuarantineDegrades: quarantining a streaming
+// representative drives the substitution ladder end to end and is
+// reported loudly.
+func TestSampleStreamingQuarantineDegrades(t *testing.T) {
+	tr := megsim.MustGenerateBenchmark("hcr", testScale())
+	gpu := megsim.DefaultGPUConfig()
+
+	ref, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{}, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ref.Representatives()[0]
+
+	srun, err := megsim.SampleStreaming(context.Background(), tr, megsim.StreamingOptions{
+		Resilience: megsim.ResilienceConfig{Quarantine: []int{victim}},
+	}, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srun.Degraded() {
+		t.Fatal("quarantined representative did not degrade the run")
+	}
+	found := false
+	for _, s := range srun.Degradation.Substitutions {
+		if s.From == victim {
+			found = true
+			if _, ok := srun.RepresentativeStats[s.To]; !ok {
+				t.Fatalf("substitute %d was not simulated", s.To)
+			}
+		}
+	}
+	if !found && len(srun.Degradation.LostStrata) == 0 {
+		t.Fatalf("no substitution or loss recorded for %d: %+v", victim, srun.Degradation)
+	}
+	if _, ok := srun.RepresentativeStats[victim]; ok {
+		t.Fatalf("quarantined frame %d was simulated", victim)
+	}
+}
