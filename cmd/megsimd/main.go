@@ -72,6 +72,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		heartbeat    = fs.Duration("heartbeat", 0, "coordinator worker-probe cadence (0 = default)")
 		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant submissions per second via the X-Megsim-Tenant header (0 = tenant throttling off)")
 		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant submission burst (0 = default)")
+		streamIdle   = fs.Duration("stream-idle", 0, "expire open stream sessions after this much ingest inactivity (0 = default; negative = never)")
+		streamKeep   = fs.Duration("stream-retention", 0, "evict closed stream sessions' status this long after they close (0 = default; negative = forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,13 +97,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := serve.Config{
-		QueueCapacity:   *queue,
-		Workers:         *workers,
-		CheckpointDir:   *ckptDir,
-		MaxCachedFrames: *frameCache,
-		TenantRate:      *tenantRate,
-		TenantBurst:     *tenantBurst,
-		Log:             stdout,
+		QueueCapacity:     *queue,
+		Workers:           *workers,
+		CheckpointDir:     *ckptDir,
+		MaxCachedFrames:   *frameCache,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		StreamIdleTimeout: *streamIdle,
+		StreamRetention:   *streamKeep,
+		Log:               stdout,
 	}
 	if *coordinator != "" {
 		pol, err := fabric.PolicyByName(*policy)

@@ -83,6 +83,16 @@ type Config struct {
 	// MaxStreamSessions bounds concurrently open chunked-upload stream
 	// sessions (0 = DefaultMaxStreamSessions).
 	MaxStreamSessions int
+	// StreamIdleTimeout expires an open stream session that has not
+	// ingested for this long, freeing its session slot so abandoned
+	// clients cannot exhaust MaxStreamSessions (0 =
+	// DefaultStreamIdleTimeout; negative = never expire).
+	StreamIdleTimeout time.Duration
+	// StreamRetention evicts a closed (finished/aborted/expired)
+	// session's status document this long after it closed, bounding
+	// session-store memory (0 = DefaultStreamRetention; negative =
+	// retain forever).
+	StreamRetention time.Duration
 	// TenantRate enables per-tenant token-bucket admission: each tenant
 	// (the X-Megsim-Tenant header; empty = anonymous) refills at this
 	// many submissions per second, bursting to TenantBurst. Zero or
@@ -129,7 +139,7 @@ type Server struct {
 	degradedJobs, interrupted    *obs.Counter
 
 	streamsOpened, streamsFinished *obs.Counter
-	streamChunks                   *obs.Counter
+	streamChunks, streamsExpired   *obs.Counter
 }
 
 // New builds a Server and starts its worker pool.
@@ -153,7 +163,7 @@ func New(cfg Config) *Server {
 		store:        NewStore(),
 		queue:        newAdmissionQueue(cfg.QueueCapacity),
 		tenants:      newTenantLimiter(cfg.TenantRate, cfg.TenantBurst, nil),
-		streams:      newStreamStore(cfg.MaxStreamSessions),
+		streams:      newStreamStore(cfg.MaxStreamSessions, cfg.StreamIdleTimeout, cfg.StreamRetention),
 		jobsCtx:      ctx,
 		cancelJobs:   cancel,
 		submitted:    reg.Counter("serve.jobs.submitted"),
@@ -169,6 +179,7 @@ func New(cfg Config) *Server {
 	s.streamsOpened = reg.Counter("serve.streams.opened")
 	s.streamsFinished = reg.Counter("serve.streams.finished")
 	s.streamChunks = reg.Counter("serve.streams.chunks")
+	s.streamsExpired = reg.Counter("serve.streams.expired")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)

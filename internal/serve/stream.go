@@ -35,7 +35,20 @@ const (
 	DefaultMaxStreamSessions = 16
 	// maxChunkCount bounds one chunk's frame count.
 	maxChunkCount = 1 << 16
+	// DefaultStreamIdleTimeout expires an open session that has stopped
+	// ingesting, freeing its session slot for live clients.
+	DefaultStreamIdleTimeout = 5 * time.Minute
+	// DefaultStreamRetention evicts a closed session's status document
+	// this long after it finished, aborted or expired, bounding the
+	// session store however many streams a deployment has seen.
+	DefaultStreamRetention = 15 * time.Minute
 )
+
+// streamIngestBatch bounds how many frames one session-lock acquisition
+// may ingest: a large chunk re-acquires the lock per batch, so status
+// polls are never blocked behind a whole chunk. A var so tests can
+// force multi-batch ingest on small workloads.
+var streamIngestBatch = 512
 
 // streamSession is one open chunked-upload stream.
 type streamSession struct {
@@ -52,9 +65,16 @@ type streamSession struct {
 	// the vector budget however long the stream runs.
 	members  map[int]bool
 	released int
-	state    string // "open", "finished", "aborted"
+	state    string // "open", "finished", "aborted", "expired"
 	jobID    string
 	final    *StreamStatus // frozen status once closed
+	// lastActive is the last time the session made ingest progress
+	// (open, a chunk batch, or a retryable finish); the sweeper expires
+	// open sessions idle past the store's timeout.
+	lastActive time.Time
+	// closedAt stamps the transition out of "open"; the sweeper evicts
+	// the frozen status document after the store's retention window.
+	closedAt time.Time
 }
 
 // StreamStatus is the poll document of GET /api/v1/streams/{id}.
@@ -98,8 +118,9 @@ func (sess *streamSession) statusLocked() StreamStatus {
 
 // closeLocked freezes the status and drops the heavy ingest state so a
 // finished or aborted session costs only its status document.
-func (sess *streamSession) closeLocked(state string) {
+func (sess *streamSession) closeLocked(state string, now time.Time) {
 	sess.state = state
+	sess.closedAt = now
 	st := sess.statusLocked()
 	sess.final = &st
 	sess.streamer = nil
@@ -115,13 +136,34 @@ type streamStore struct {
 	byID  map[string]*streamSession
 	open  int
 	limit int
+	// idle expires open sessions that stop ingesting (0 = never);
+	// retention evicts closed sessions' status documents (0 = forever).
+	idle      time.Duration
+	retention time.Duration
+	now       func() time.Time // injectable clock for tests
 }
 
-func newStreamStore(limit int) *streamStore {
+func newStreamStore(limit int, idle, retention time.Duration) *streamStore {
 	if limit <= 0 {
 		limit = DefaultMaxStreamSessions
 	}
-	return &streamStore{byID: map[string]*streamSession{}, limit: limit}
+	if idle == 0 {
+		idle = DefaultStreamIdleTimeout
+	} else if idle < 0 {
+		idle = 0
+	}
+	if retention == 0 {
+		retention = DefaultStreamRetention
+	} else if retention < 0 {
+		retention = 0
+	}
+	return &streamStore{
+		byID:      map[string]*streamSession{},
+		limit:     limit,
+		idle:      idle,
+		retention: retention,
+		now:       time.Now,
+	}
 }
 
 // add registers a session if the open-session bound allows another.
@@ -154,6 +196,46 @@ func (st *streamStore) closed() {
 	}
 }
 
+// remove evicts a session's entry entirely (closed sessions only —
+// their slot was already released).
+func (st *streamStore) remove(id string) {
+	st.mu.Lock()
+	delete(st.byID, id)
+	st.mu.Unlock()
+}
+
+// sweep expires open sessions idle past the timeout (freeing their
+// slots) and evicts closed sessions past the retention window. It runs
+// opportunistically at the top of every stream handler, so abandoned
+// capacity is reclaimed no later than the next request that could want
+// it and byID stays bounded by the traffic of one retention window.
+// The handlers' lock order is sess.mu -> st.mu, so the candidate list
+// is copied out before any session lock is taken.
+func (st *streamStore) sweep(now time.Time) (expired []string) {
+	st.mu.Lock()
+	sessions := make([]*streamSession, 0, len(st.byID))
+	for _, sess := range st.byID {
+		sessions = append(sessions, sess)
+	}
+	st.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		switch {
+		case sess.state == "open" && st.idle > 0 && now.Sub(sess.lastActive) >= st.idle:
+			sess.closeLocked("expired", now)
+			sess.mu.Unlock()
+			st.closed()
+			expired = append(expired, sess.id)
+		case sess.final != nil && st.retention > 0 && now.Sub(sess.closedAt) >= st.retention:
+			sess.mu.Unlock()
+			st.remove(sess.id)
+		default:
+			sess.mu.Unlock()
+		}
+	}
+	return expired
+}
+
 // StreamOpenResponse answers POST /api/v1/streams.
 type StreamOpenResponse struct {
 	StreamID string `json:"stream_id"`
@@ -175,11 +257,22 @@ type StreamFinishResponse struct {
 	SubmitResponse
 }
 
+// sweepStreams reclaims idle and stale sessions; every stream handler
+// calls it first, so a full session table always self-heals before the
+// request it would otherwise starve.
+func (s *Server) sweepStreams() {
+	for _, id := range s.streams.sweep(s.streams.now()) {
+		s.streamsExpired.Inc()
+		s.logf("serve: %s expired after %s idle", id, s.streams.idle)
+	}
+}
+
 func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
+	s.sweepStreams()
 	if s.tenants != nil {
 		tenant := r.Header.Get(TenantHeader)
 		if ok, retry := s.tenants.Admit(tenant); !ok {
@@ -210,11 +303,12 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := &streamSession{
-		req:      req,
-		tr:       tr,
-		streamer: streamer,
-		members:  map[int]bool{},
-		state:    "open",
+		req:        req,
+		tr:         tr,
+		streamer:   streamer,
+		members:    map[int]bool{},
+		state:      "open",
+		lastActive: s.streams.now(),
 	}
 	scfg := req.StreamConfig()
 	scfg.OnEvict = func(frame int) {
@@ -239,6 +333,7 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	s.sweepStreams()
 	sess, ok := s.streams.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream")
@@ -255,6 +350,7 @@ func (s *Server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
+	s.sweepStreams()
 	sess, ok := s.streams.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream")
@@ -269,39 +365,68 @@ func (s *Server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("chunk count %d out of [1, %d]", creq.Count, maxChunkCount))
 		return
 	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if sess.state != "open" {
-		writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", sess.state))
-		return
-	}
-	remaining := sess.tr.NumFrames() - sess.ing.Frames()
-	if remaining == 0 {
-		writeError(w, http.StatusConflict, "stream exhausted the workload; finish it")
-		return
-	}
-	count := creq.Count
-	if count > remaining {
-		count = remaining
-	}
-	var prof funcsim.FrameProfile
-	for i := 0; i < count; i++ {
-		f := sess.ing.Frames()
-		if err := sess.streamer.ProfileAt(&prof, f); err != nil {
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
+	// Ingest in bounded batches, dropping the session lock between them
+	// so status polls interleave with even the largest chunk. Ingest
+	// order stays the workload's frame order whatever the interleaving:
+	// each batch replays from wherever the ingestor's frame cursor
+	// stands when the lock is reacquired.
+	var (
+		st       StreamStatus
+		ingested int
+		prof     funcsim.FrameProfile
+	)
+	for ingested < creq.Count {
+		sess.mu.Lock()
+		if sess.state != "open" {
+			state := sess.state
+			sess.mu.Unlock()
+			writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", state))
 			return
 		}
-		// Pin before Add: the eviction hook may release this very frame
-		// during ingest (it never made any reservoir).
-		sess.members[f] = true
-		if err := sess.ing.Add(&prof); err != nil {
-			delete(sess.members, f)
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
-			return
+		remaining := sess.tr.NumFrames() - sess.ing.Frames()
+		if remaining == 0 {
+			if ingested == 0 {
+				sess.mu.Unlock()
+				writeError(w, http.StatusConflict, "stream exhausted the workload; finish it")
+				return
+			}
+			// The chunk over-asked (or raced another chunk to the end):
+			// report the frames that were ingested, like the old clamp.
+			st = sess.statusLocked()
+			sess.mu.Unlock()
+			break
 		}
+		n := creq.Count - ingested
+		if n > remaining {
+			n = remaining
+		}
+		if n > streamIngestBatch {
+			n = streamIngestBatch
+		}
+		for i := 0; i < n; i++ {
+			f := sess.ing.Frames()
+			if err := sess.streamer.ProfileAt(&prof, f); err != nil {
+				sess.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
+				return
+			}
+			// Pin before Add: the eviction hook may release this very frame
+			// during ingest (it never made any reservoir).
+			sess.members[f] = true
+			if err := sess.ing.Add(&prof); err != nil {
+				delete(sess.members, f)
+				sess.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("frame %d: %v", f, err))
+				return
+			}
+		}
+		ingested += n
+		sess.lastActive = s.streams.now()
+		st = sess.statusLocked()
+		sess.mu.Unlock()
 	}
 	s.streamChunks.Inc()
-	writeJSON(w, http.StatusOK, sess.statusLocked())
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
@@ -309,6 +434,7 @@ func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
+	s.sweepStreams()
 	sess, ok := s.streams.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream")
@@ -345,7 +471,9 @@ func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
 		j.StreamMaxFrames = frames
 		if !s.queue.TryEnqueue(j) {
 			// Admission refused: the session stays open so the client
-			// can retry the finish later.
+			// can retry the finish later (the retry window restarts the
+			// idle clock).
+			sess.lastActive = s.streams.now()
 			s.store.Remove(j)
 			s.rejected.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.queue.Depth(), s.queue.Capacity(), fp)))
@@ -357,7 +485,7 @@ func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
 		s.deduped.Inc()
 	}
 	sess.jobID = j.ID
-	sess.closeLocked("finished")
+	sess.closeLocked("finished", s.streams.now())
 	s.streams.closed()
 	s.streamsFinished.Inc()
 	s.logf("serve: %s finished after %d frames -> %s", sess.id, frames, j.ID)
@@ -368,6 +496,7 @@ func (s *Server) handleStreamFinish(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStreamAbort(w http.ResponseWriter, r *http.Request) {
+	s.sweepStreams()
 	sess, ok := s.streams.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream")
@@ -379,7 +508,7 @@ func (s *Server) handleStreamAbort(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Sprintf("stream is %s", sess.state))
 		return
 	}
-	sess.closeLocked("aborted")
+	sess.closeLocked("aborted", s.streams.now())
 	s.streams.closed()
 	s.logf("serve: %s aborted", sess.id)
 	writeJSON(w, http.StatusOK, sess.statusLocked())

@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -288,4 +290,141 @@ func TestStreamSessionCapacity(t *testing.T) {
 	}
 	dresp.Body.Close()
 	openStream(t, ts, body) // slot freed
+}
+
+// TestStreamSingleStratum: max_strata = 1 is a valid (if degenerate)
+// streaming campaign end to end. Before the single-stratum absorb rule
+// in internal/stream this panicked the job worker on the second
+// distinct frame and took the whole daemon down.
+func TestStreamSingleStratum(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	open := openStream(t, ts, streamCampaignBody(`"max_strata":1,"reservoir_cap":2`))
+
+	code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks",
+		fmt.Sprintf(`{"count":%d}`, open.FramesTotal))
+	if code != http.StatusOK {
+		t.Fatalf("chunk: status %d: %s", code, raw)
+	}
+	var st StreamStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Strata != 1 || st.FramesIngested != open.FramesTotal {
+		t.Fatalf("single-stratum ingest: %+v", st)
+	}
+	code, raw = streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/finish", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("finish: status %d: %s", code, raw)
+	}
+	var fin StreamFinishResponse
+	if err := json.Unmarshal(raw, &fin); err != nil {
+		t.Fatal(err)
+	}
+	if job := waitTerminal(t, ts, fin.JobID); job.State != JobSucceeded {
+		t.Fatalf("single-stratum job: %+v", job)
+	}
+}
+
+// TestStreamSessionExpiry: an abandoned open session is expired by the
+// sweeper after the idle timeout — freeing its capacity slot for the
+// next open — while staying pollable as "expired"; after the retention
+// window its status document is evicted too, so the session store
+// never grows without bound.
+func TestStreamSessionExpiry(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8, MaxStreamSessions: 1})
+	base := time.Now()
+	cur := base
+	var mu sync.Mutex
+	s.streams.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return cur
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		cur = cur.Add(d)
+		mu.Unlock()
+	}
+	body := streamCampaignBody(`"max_strata":8,"reservoir_cap":4`)
+
+	// The abandoned session holds the only slot...
+	abandoned := openStream(t, ts, body)
+	if code, _ := streamPost(t, ts, "/api/v1/streams", body); code != http.StatusTooManyRequests {
+		t.Fatalf("second open with a live session: %d, want 429", code)
+	}
+
+	// ...until the idle timeout: the open handler's sweep reclaims it.
+	advance(DefaultStreamIdleTimeout)
+	live := openStream(t, ts, body)
+	if got := counter(s, "serve.streams.expired"); got != 1 {
+		t.Fatalf("expired counter %d, want 1", got)
+	}
+	if st := streamStatus(t, ts, abandoned.StreamID); st.State != "expired" {
+		t.Fatalf("abandoned session state %q, want expired", st.State)
+	}
+	if code, _ := streamPost(t, ts, "/api/v1/streams/"+abandoned.StreamID+"/chunks", `{"count":1}`); code != http.StatusConflict {
+		t.Fatalf("chunk to expired session: %d, want 409", code)
+	}
+
+	// Ingest activity resets the idle clock: two chunks each just under
+	// the timeout keep the live session open past 2x the timeout.
+	for i := 0; i < 2; i++ {
+		advance(DefaultStreamIdleTimeout - time.Second)
+		if code, raw := streamPost(t, ts, "/api/v1/streams/"+live.StreamID+"/chunks", `{"count":1}`); code != http.StatusOK {
+			t.Fatalf("chunk %d on active session: %d: %s", i, code, raw)
+		}
+	}
+
+	// Past the retention window the expired session's status document
+	// is gone entirely.
+	advance(DefaultStreamRetention)
+	if code, _ := getJSON(t, ts, "/api/v1/streams/"+abandoned.StreamID); code != http.StatusNotFound {
+		t.Fatalf("expired session after retention: found (want 404)")
+	}
+	s.streams.mu.Lock()
+	size := len(s.streams.byID)
+	s.streams.mu.Unlock()
+	if size != 1 {
+		t.Fatalf("session store holds %d entries, want 1 (the live session)", size)
+	}
+}
+
+// TestStreamChunkBatching: one chunk request larger than the ingest
+// batch size ingests fully and identically to unbatched ingest — the
+// lock is released between batches (so status polls interleave) without
+// changing what is ingested or reported.
+func TestStreamChunkBatching(t *testing.T) {
+	defer func(old int) { streamIngestBatch = old }(streamIngestBatch)
+	streamIngestBatch = 3
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 8})
+	open := openStream(t, ts, streamCampaignBody(`"max_strata":8,"reservoir_cap":4`))
+
+	count := 2*streamIngestBatch + 1 // forces three lock acquisitions
+	if count > open.FramesTotal {
+		t.Fatalf("workload too short for the test: %d frames", open.FramesTotal)
+	}
+	code, raw := streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks",
+		fmt.Sprintf(`{"count":%d}`, count))
+	if code != http.StatusOK {
+		t.Fatalf("chunk: status %d: %s", code, raw)
+	}
+	var st StreamStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesIngested != count {
+		t.Fatalf("batched chunk ingested %d frames, want %d", st.FramesIngested, count)
+	}
+	// An over-long chunk still clamps to the frames that remain.
+	code, raw = streamPost(t, ts, "/api/v1/streams/"+open.StreamID+"/chunks",
+		fmt.Sprintf(`{"count":%d}`, maxChunkCount))
+	if code != http.StatusOK {
+		t.Fatalf("over-long chunk: status %d: %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesIngested != open.FramesTotal {
+		t.Fatalf("clamped chunk ingested %d frames, want %d", st.FramesIngested, open.FramesTotal)
+	}
 }

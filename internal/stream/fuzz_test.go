@@ -31,7 +31,13 @@ func FuzzStreamIngest(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg := DefaultConfig()
+		// The first byte picks the stratum cap in [1,4]: 1 is the
+		// degenerate single-stratum configuration (no pair to merge at
+		// capacity), which once panicked on the second distinct frame.
 		cfg.MaxStrata = 4
+		if len(data) > 0 {
+			cfg.MaxStrata = 1 + int(data[0]&3)
+		}
 		cfg.ReservoirCap = 2
 		cfg.Seed = 7
 		in := NewIngestor("fuzz", vs, fs, cfg)

@@ -253,6 +253,16 @@ func (in *Ingestor) Add(p *funcsim.FrameProfile) error {
 		in.absorb(in.strata[best], frame, v)
 	case len(in.strata) < in.cfg.MaxStrata:
 		in.spawn(frame, v)
+	case len(in.strata) < 2:
+		// At capacity with a single stratum (MaxStrata = 1): there is no
+		// pair to merge, so the frame is absorbed directly and the spawn
+		// radius widens to the distance just tolerated — exactly what
+		// merging the frame's would-be singleton into the survivor would
+		// have produced.
+		if bestD > in.spawnR {
+			in.spawnR = bestD
+		}
+		in.absorb(in.strata[best], frame, v)
 	default:
 		// At capacity: collapse the two closest strata, widen the spawn
 		// radius to the distance just tolerated, then spawn. The radius

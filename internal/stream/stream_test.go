@@ -469,3 +469,59 @@ func TestShapeMismatchRejected(t *testing.T) {
 		t.Fatal("rejected profile mutated ingestor state")
 	}
 }
+
+// TestSingleStratumCap: MaxStrata = 1 is degenerate but must stay
+// well-defined — at capacity there is no pair of strata to merge, so
+// the lone stratum absorbs every frame and the spawn radius widens to
+// each tolerated distance (this used to panic with an index out of
+// range in mergeClosest on the second distinct frame). The invariants
+// everything else relies on — chunk-split determinism, capacity and
+// reservoir bounds, a usable selection — must all still hold.
+func TestSingleStratumCap(t *testing.T) {
+	d := seedResult(t, 1)
+	cfg := DefaultConfig()
+	cfg.MaxStrata = 1
+	cfg.ReservoirCap = 3
+
+	ingest := func(chunk int) (*Ingestor, []byte) {
+		in := newTestIngestor(d, cfg)
+		profs := d.fr.Profiles
+		for lo := 0; lo < len(profs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(profs) {
+				hi = len(profs)
+			}
+			if err := in.AddChunk(profs[lo:hi]); err != nil {
+				t.Fatalf("chunk %d: ingest: %v", chunk, err)
+			}
+		}
+		snap, err := in.Snapshot()
+		if err != nil {
+			t.Fatalf("chunk %d: snapshot: %v", chunk, err)
+		}
+		return in, snap
+	}
+
+	in, ref := ingest(len(d.fr.Profiles))
+	if got := in.NumStrata(); got != 1 {
+		t.Fatalf("%d strata under a cap of 1", got)
+	}
+	if in.Merges() != 0 {
+		t.Fatalf("%d merges recorded with a single stratum", in.Merges())
+	}
+	if got := len(in.strata[0].res); got == 0 || got > cfg.ReservoirCap {
+		t.Fatalf("reservoir size %d out of [1,%d]", got, cfg.ReservoirCap)
+	}
+	sel, err := in.Finalize()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if sel.Frames != len(d.fr.Profiles) || sel.Strata[0].Count != sel.Frames {
+		t.Fatalf("selection covers %d of %d frames", sel.Strata[0].Count, len(d.fr.Profiles))
+	}
+	for _, chunk := range []int{1, 7} {
+		if _, snap := ingest(chunk); !bytes.Equal(snap, ref) {
+			t.Errorf("chunk size %d: snapshot differs from all-at-once", chunk)
+		}
+	}
+}
