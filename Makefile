@@ -31,9 +31,14 @@ FABRIC_COVER_FLOOR ?= 85
 # bounded-memory stratifier behind unbounded-stream campaigns.
 STREAM_COVER_FLOOR ?= 85
 
-.PHONY: ci vet build test race determinism resilience serve fabric stream validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check bench bench-tbr bench-cluster bench-check bench-smoke tile-bench-smoke fuzz-smoke
+# Minimum statement coverage for the chaos transport — the fault
+# injector that certifies the fabric's trust layer must itself be
+# certified.
+CHAOS_COVER_FLOOR ?= 85
 
-ci: vet build race determinism resilience serve fabric stream validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check bench-check bench-smoke tile-bench-smoke fuzz-smoke
+.PHONY: ci vet build test race determinism resilience serve fabric stream chaos validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check chaos-cover-check bench bench-tbr bench-cluster bench-check bench-smoke tile-bench-smoke fuzz-smoke
+
+ci: vet build race determinism resilience serve fabric stream chaos validate cover-check resilience-cover-check serve-cover-check fabric-cover-check stream-cover-check chaos-cover-check bench-check bench-smoke tile-bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +89,19 @@ serve:
 # race-detector clean.
 fabric:
 	$(GO) test -race -count=1 ./internal/fabric
+
+# Explicit gate on the chaos-hardening guarantees: the deterministic
+# fault transport replays identical fault sequences for identical
+# seeds, and the end-to-end soak — a fleet with one byzantine worker
+# behind the chaos transport, every honest worker killed and restarted
+# mid-campaign — quarantines the byzantine worker, requeues the killed
+# frames, and still produces a report byte-identical to a clean
+# single-process run. Per-class property tests pin that every fault
+# class either triggers recovery or is absorbed without a trace — all
+# race-detector clean.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -run '^TestChaosSoakByzantineKillRestart$$|^TestChaosFaultClassesPreserveReport$$|^TestClusterGoldenWithAuditAndHedging$$' ./internal/fabric
 
 # Explicit gate on the streaming guarantees: the online stratifier is
 # chunk-split invariant and bounded-memory, its snapshots round-trip
@@ -138,6 +156,13 @@ stream-cover-check:
 	if [ -z "$$cov" ]; then echo "stream-cover-check: no coverage reported for internal/stream"; exit 1; fi; \
 	echo "internal/stream coverage: $$cov% (floor $(STREAM_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$cov >= $(STREAM_COVER_FLOOR))}" || { echo "stream-cover-check: coverage $$cov% below $(STREAM_COVER_FLOOR)% floor"; exit 1; }
+
+# Coverage floor for the chaos transport.
+chaos-cover-check:
+	@cov=$$($(GO) test -cover ./internal/chaos | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "chaos-cover-check: no coverage reported for internal/chaos"; exit 1; fi; \
+	echo "internal/chaos coverage: $$cov% (floor $(CHAOS_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$cov >= $(CHAOS_COVER_FLOOR))}" || { echo "chaos-cover-check: coverage $$cov% below $(CHAOS_COVER_FLOOR)% floor"; exit 1; }
 
 # Benchmark baselines: run the tbr and cluster suites, keep the raw
 # benchstat-format text, and convert to JSON with cmd/benchjson. The

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -70,6 +71,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		coordinator  = fs.String("coordinator", "", "comma-separated worker URLs; run as the cluster coordinator dispatching frames to this fleet")
 		policy       = fs.String("policy", "", "coordinator frame routing: affinity (default), round-robin or least-loaded")
 		heartbeat    = fs.Duration("heartbeat", 0, "coordinator worker-probe cadence (0 = default)")
+		auditFrac    = fs.Float64("audit-fraction", 0, "fraction of frames the coordinator re-dispatches to a second worker and digest-checks (byzantine defense; 0 = off, 1 = every frame)")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "hedge a frame to the next worker after max(this, 2x fleet latency EWMA) (0 = hedging off)")
+		chaosSeed    = fs.Uint64("chaos-seed", 0, "arm the deterministic chaos transport on the coordinator's worker client with this seed (staging fault-injection profile; 0 = off)")
 		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant submissions per second via the X-Megsim-Tenant header (0 = tenant throttling off)")
 		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant submission burst (0 = default)")
 		streamIdle   = fs.Duration("stream-idle", 0, "expire open stream sessions after this much ingest inactivity (0 = default; negative = never)")
@@ -89,6 +93,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *policy != "" && *coordinator == "" {
 		return errors.New("-policy requires -coordinator")
+	}
+	if (*auditFrac != 0 || *hedgeAfter != 0 || *chaosSeed != 0) && *coordinator == "" {
+		return errors.New("-audit-fraction, -hedge-after and -chaos-seed require -coordinator")
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -116,11 +123,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// /metrics exports the per-worker fleet gauges alongside the
 		// job counters.
 		reg := obs.NewWith(obs.Options{TraceCapacity: -1})
+		var client *http.Client
+		if *chaosSeed != 0 {
+			tr, err := chaos.NewTransport(chaos.StagingProfile(*chaosSeed), nil)
+			if err != nil {
+				return err
+			}
+			client = &http.Client{Transport: tr, Timeout: 5 * time.Minute}
+			fmt.Fprintf(stdout, "megsimd: CHAOS armed on the worker client (seed %d) — staging only\n", *chaosSeed)
+		}
 		coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 			Workers:           strings.Split(*coordinator, ","),
 			Policy:            pol,
 			Obs:               reg,
+			Client:            client,
 			HeartbeatInterval: *heartbeat,
+			AuditFraction:     *auditFrac,
+			AuditSeed:         *chaosSeed,
+			HedgeAfter:        *hedgeAfter,
 			Log:               stdout,
 		})
 		if err != nil {
@@ -139,7 +159,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// Report the resolved address (the test listens on port 0).
 	fmt.Fprintf(stdout, "megsimd: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers (slowloris); IdleTimeout reclaims keep-alive
+	// connections that went quiet. Request bodies and long polls are
+	// governed by the handlers, not here.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -177,7 +205,11 @@ func runWorker(ctx context.Context, addr string, drainTimeout time.Duration, std
 	}
 	fmt.Fprintf(stdout, "megsimd: worker listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: w.Handler()}
+	hs := &http.Server{
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -151,6 +151,18 @@ func TestDaemonBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
 		t.Error("unlistenable address accepted")
 	}
+	for _, flags := range [][]string{
+		{"-audit-fraction", "0.5"},
+		{"-hedge-after", "100ms"},
+		{"-chaos-seed", "7"},
+	} {
+		if err := run(context.Background(), flags, &buf); err == nil {
+			t.Errorf("%v accepted without -coordinator", flags)
+		}
+	}
+	if err := run(context.Background(), []string{"-coordinator", "http://localhost:1", "-audit-fraction", "1.5"}, &buf); err == nil {
+		t.Error("out-of-range -audit-fraction accepted")
+	}
 }
 
 func waitListening(out *syncBuffer) (string, error) {

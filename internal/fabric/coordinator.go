@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
@@ -28,6 +29,13 @@ const DefaultHeartbeatInterval = 2 * time.Second
 // maxResultBytes bounds a worker's frame-result body.
 const maxResultBytes = 32 << 20
 
+// DefaultDigestFailureLimit is how many digest-verification failures a
+// worker accumulates before quarantine when the config leaves the limit
+// zero. Transient wire corruption (which the chaos transport injects on
+// purpose) costs a failover, not a worker; a worker that persistently
+// delivers corrupt bytes is hardware-suspect and gets benched.
+const DefaultDigestFailureLimit = 3
+
 // CoordinatorConfig configures a Coordinator.
 type CoordinatorConfig struct {
 	// Workers is the static peer list: base URLs of the worker fleet
@@ -49,6 +57,26 @@ type CoordinatorConfig struct {
 	// then only marked down by failed dispatches, and recover only via
 	// an explicit Probe).
 	HeartbeatInterval time.Duration
+
+	// AuditFraction re-dispatches this fraction of frames to a second
+	// worker and cross-checks result digests for byte-identity — the
+	// byzantine-worker defense. 0 disables auditing; 1 audits every
+	// frame. Sampling is seed-keyed on (AuditSeed, fingerprint, frame),
+	// so an audit schedule is replayable like everything else.
+	AuditFraction float64
+	// AuditSeed keys the audit sampler (0 is a valid seed).
+	AuditSeed uint64
+	// HedgeAfter arms hedged dispatch: when a worker has held a frame
+	// longer than the adaptive deadline max(HedgeAfter, 2× the fleet's
+	// latency EWMA), the frame is also sent to the policy's next
+	// candidate and the first digest-valid result wins. <= 0 disables
+	// hedging. Safe because worker results are byte-identical — either
+	// copy of the answer is the answer.
+	HedgeAfter time.Duration
+	// DigestFailureLimit quarantines a worker after this many digest
+	// verification failures (0 = DefaultDigestFailureLimit).
+	DigestFailureLimit int
+
 	// Log, when non-nil, receives coordinator log lines; it must
 	// tolerate concurrent writes.
 	Log io.Writer
@@ -58,9 +86,11 @@ type CoordinatorConfig struct {
 type member struct {
 	name string // normalized base URL; the routing identity
 
-	down     atomic.Bool
-	draining atomic.Bool
-	inflight atomic.Int64
+	down        atomic.Bool
+	draining    atomic.Bool
+	quarantined atomic.Bool
+	inflight    atomic.Int64
+	digestFails atomic.Int64
 
 	up   *obs.Gauge
 	load *obs.Gauge
@@ -80,6 +110,17 @@ type member struct {
 // candidates remain the dispatch returns resilience.WorkerLost, which
 // the supervisor requeues without charging the frame's attempt budget —
 // the frame re-enters the pool as soon as any worker comes back.
+//
+// On top of availability failures sits the trust layer. Every result
+// carries a canonical content digest; a result whose digest does not
+// verify is treated as a corrupt delivery — failover to the next
+// candidate without burying the worker, until DigestFailureLimit
+// failures quarantine it. A seed-keyed sampler audits AuditFraction of
+// frames by re-dispatching them to a second worker and cross-checking
+// digests; on divergence a third worker arbitrates and the minority
+// worker is quarantined. Quarantine is terminal: the worker is marked
+// down, skipped by heartbeat resurrection, and its in-flight frames
+// requeue through the ordinary WorkerLost/failover paths.
 type Coordinator struct {
 	cfg     CoordinatorConfig
 	policy  Policy
@@ -87,12 +128,23 @@ type Coordinator struct {
 	reg     *obs.Registry
 	members []*member
 
-	live *obs.Gauge
+	live        *obs.Gauge
+	quarantined *obs.Gauge
 
-	dispatched, failovers *obs.Counter
-	lost, refused         *obs.Counter
+	dispatched, failovers  *obs.Counter
+	lost, refused          *obs.Counter
+	auditSampled, auditBad *obs.Counter
+	digestFailed           *obs.Counter
+	hedges, hedgeWins      *obs.Counter
 
-	stop      chan struct{}
+	// latencyEWMA is the fleet's successful-dispatch latency EWMA in
+	// nanoseconds (alpha 1/8), the adaptive half of the hedge deadline.
+	latencyEWMA atomic.Uint64
+
+	// ctx is cancelled by Close, bounding the heartbeat loop and any
+	// in-flight probe — a probe can't outlive its coordinator.
+	ctx       context.Context
+	cancel    context.CancelFunc
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -102,6 +154,12 @@ type Coordinator struct {
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("fabric: coordinator needs at least one worker URL")
+	}
+	if cfg.AuditFraction < 0 || cfg.AuditFraction > 1 {
+		return nil, fmt.Errorf("fabric: audit fraction %v out of [0,1]", cfg.AuditFraction)
+	}
+	if cfg.DigestFailureLimit < 0 {
+		return nil, fmt.Errorf("fabric: digest failure limit %d must be >= 0", cfg.DigestFailureLimit)
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -116,17 +174,23 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		client = &http.Client{Timeout: 5 * time.Minute}
 	}
 	c := &Coordinator{
-		cfg:        cfg,
-		policy:     policy,
-		client:     client,
-		reg:        reg,
-		live:       reg.Gauge("fabric.workers.live"),
-		dispatched: reg.Counter("fabric.dispatch.sent"),
-		failovers:  reg.Counter("fabric.dispatch.failover"),
-		lost:       reg.Counter("fabric.dispatch.lost"),
-		refused:    reg.Counter("fabric.dispatch.refused"),
-		stop:       make(chan struct{}),
+		cfg:          cfg,
+		policy:       policy,
+		client:       client,
+		reg:          reg,
+		live:         reg.Gauge("fabric.workers.live"),
+		quarantined:  reg.Gauge("fabric.workers.quarantined"),
+		dispatched:   reg.Counter("fabric.dispatch.sent"),
+		failovers:    reg.Counter("fabric.dispatch.failover"),
+		lost:         reg.Counter("fabric.dispatch.lost"),
+		refused:      reg.Counter("fabric.dispatch.refused"),
+		auditSampled: reg.Counter("fabric.audit.sampled"),
+		auditBad:     reg.Counter("fabric.audit.mismatch"),
+		digestFailed: reg.Counter("fabric.digest.failed"),
+		hedges:       reg.Counter("fabric.dispatch.hedged"),
+		hedgeWins:    reg.Counter("fabric.dispatch.hedge_wins"),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	seen := map[string]bool{}
 	for _, raw := range cfg.Workers {
 		name := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -158,9 +222,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the heartbeat loop. Safe to call more than once.
+// Close stops the heartbeat loop and cancels any in-flight probe. Safe
+// to call more than once.
 func (c *Coordinator) Close() {
-	c.closeOnce.Do(func() { close(c.stop) })
+	c.closeOnce.Do(c.cancel)
 	c.wg.Wait()
 }
 
@@ -169,6 +234,18 @@ func (c *Coordinator) Workers() []string {
 	names := make([]string, len(c.members))
 	for i, m := range c.members {
 		names[i] = m.name
+	}
+	return names
+}
+
+// Quarantined returns the names of quarantined workers in routing
+// order.
+func (c *Coordinator) Quarantined() []string {
+	var names []string
+	for _, m := range c.members {
+		if m.quarantined.Load() {
+			names = append(names, m.name)
+		}
 	}
 	return names
 }
@@ -201,49 +278,281 @@ func (c *Coordinator) FrameRunner(fp string, req *serve.CampaignRequest) megsim.
 var _ serve.Dispatcher = (*Coordinator)(nil)
 
 // Dispatch routes one work unit to a worker, failing over across the
-// fleet as described on Coordinator.
+// fleet as described on Coordinator, then applies the audit sampler:
+// sampled frames are re-dispatched to a second worker and the two
+// result digests must match byte for byte. On a mismatch a third worker
+// arbitrates — the minority worker is quarantined and the majority
+// result is the answer. A sampled frame is never merged unaudited: when
+// the audit can't be seated, or a dispute finds no arbiter, the frame
+// comes back as resilience.WorkerLost and requeues.
 func (c *Coordinator) Dispatch(ctx context.Context, u *WorkUnit) (*WorkResult, error) {
-	tried := make(map[int]bool)
+	res, primary, err := c.dispatchOnce(ctx, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !c.auditSample(u) {
+		return res, nil
+	}
+	c.auditSampled.Inc()
+	exclude := map[int]bool{primary: true}
+	audit, auditor, err := c.dispatchOnce(ctx, u, exclude)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		// The fleet can't seat a second opinion right now (single live
+		// worker, everyone busy dying). A sampled frame is never merged
+		// unaudited — that would be exactly the opening a byzantine
+		// primary waits for — so the frame requeues until the fleet can
+		// cross-check it.
+		c.logf("fabric: audit of %s frame %d could not be seated, requeueing: %v", u.Fingerprint, u.Frame, err)
+		c.lost.Inc()
+		return nil, resilience.WorkerLost(fmt.Errorf("audit of frame %d could not be seated: %w", u.Frame, err))
+	}
+	if audit.Digest == res.Digest {
+		return res, nil
+	}
+	c.auditBad.Inc()
+	pm, am := c.members[primary], c.members[auditor]
+	c.logf("fabric: audit mismatch on %s frame %d: %s says %s, %s says %s",
+		u.Fingerprint, u.Frame, pm.name, res.Digest, am.name, audit.Digest)
+	exclude[auditor] = true
+	tie, _, terr := c.dispatchOnce(ctx, u, exclude)
+	if terr == nil {
+		switch tie.Digest {
+		case res.Digest:
+			c.quarantine(am, fmt.Errorf("audit minority on %s frame %d (digest %s vs majority %s)",
+				u.Fingerprint, u.Frame, audit.Digest, res.Digest))
+			return res, nil
+		case audit.Digest:
+			c.quarantine(pm, fmt.Errorf("audit minority on %s frame %d (digest %s vs majority %s)",
+				u.Fingerprint, u.Frame, res.Digest, audit.Digest))
+			return audit, nil
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	// Two-way fleet, or a three-way split: no majority, so no result is
+	// trustworthy and nobody can be blamed. Requeue — never merge a
+	// disputed frame.
+	c.lost.Inc()
+	return nil, resilience.WorkerLost(fmt.Errorf(
+		"audit of %s frame %d unresolved: %s vs %s with no arbiter", u.Fingerprint, u.Frame, res.Digest, audit.Digest))
+}
+
+// auditSample decides deterministically whether a unit is audited: a
+// pure (AuditSeed, fingerprint, frame) roll against AuditFraction, the
+// same splitmix64-over-FNV construction the chaos and tile fault rolls
+// use, so an audit schedule replays exactly.
+func (c *Coordinator) auditSample(u *WorkUnit) bool {
+	f := c.cfg.AuditFraction
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(u.Fingerprint))
+	x := c.cfg.AuditSeed ^ h.Sum64() ^ uint64(u.Frame)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < f
+}
+
+// attemptOutcome is one post's answer as dispatchOnce's select loop
+// consumes it.
+type attemptOutcome struct {
+	idx              int
+	res              *WorkResult
+	unitErr, dispErr error
+	hedge            bool
+}
+
+// dispatchOnce drives one unit to one digest-valid result: sequential
+// failover across the policy's candidates, plus at most one hedge — if
+// the hedge deadline passes with the attempt still in flight, the next
+// candidate gets the unit too and the first valid result wins, the
+// loser's request cancelled. exclude lists member indexes this dispatch
+// must not use (audit re-dispatches exclude the workers already
+// consulted). Returns the member index that produced the result.
+func (c *Coordinator) dispatchOnce(ctx context.Context, u *WorkUnit, exclude map[int]bool) (*WorkResult, int, error) {
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tried := make(map[int]bool, len(c.members))
+	for i := range exclude {
+		tried[i] = true
+	}
+	// Every member launches at most once, so the buffer bounds all
+	// possible sends: losing attempts never block after we return.
+	results := make(chan attemptOutcome, len(c.members))
+	inflight := 0
+	launch := func(idx int, hedge bool) {
+		tried[idx] = true
+		inflight++
+		c.dispatched.Inc()
+		m := c.members[idx]
+		go func() {
+			start := time.Now()
+			res, unitErr, dispErr := c.post(dctx, m, u)
+			if unitErr == nil && dispErr == nil {
+				c.observeLatency(time.Since(start))
+			}
+			results <- attemptOutcome{idx: idx, res: res, unitErr: unitErr, dispErr: dispErr, hedge: hedge}
+		}()
+	}
+
+	idx := c.pick(u.Fingerprint, tried)
+	if idx < 0 {
+		c.lost.Inc()
+		return nil, -1, resilience.WorkerLost(errors.New("no live workers"))
+	}
+	launch(idx, false)
+
+	var hedgeC <-chan time.Time
+	if d := c.hedgeDelay(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
 	var lastErr error
 	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		idx := c.pick(u.Fingerprint, tried)
-		if idx < 0 {
-			c.lost.Inc()
-			if lastErr == nil {
-				lastErr = errors.New("no live workers")
+		select {
+		case <-ctx.Done():
+			return nil, -1, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil // one hedge per dispatch
+			if next := c.pick(u.Fingerprint, tried); next >= 0 {
+				c.hedges.Inc()
+				c.logf("fabric: hedging %s frame %d to %s", u.Fingerprint, u.Frame, c.members[next].name)
+				launch(next, true)
 			}
-			return nil, resilience.WorkerLost(lastErr)
-		}
-		m := c.members[idx]
-		c.dispatched.Inc()
-		res, unitErr, dispErr := c.post(ctx, m, u)
-		switch {
-		case dispErr == nil && unitErr == nil:
-			return res, nil
-		case unitErr != nil:
-			// Deterministic refusal: the frame itself is the problem, so
-			// failover would only re-fail it N times. Let the supervisor's
-			// retry/quarantine path own it.
-			c.refused.Inc()
-			return nil, unitErr
-		case errors.Is(dispErr, errDraining):
-			m.draining.Store(true)
-			c.logf("fabric: %s draining, failing over", m.name)
-		default:
-			if err := ctx.Err(); err != nil {
-				// The transport error was our own cancellation, not the
-				// worker's death.
-				return nil, err
+		case a := <-results:
+			inflight--
+			m := c.members[a.idx]
+			switch {
+			case a.dispErr == nil && a.unitErr == nil:
+				if err := c.verifyResult(m, u, a.res); err != nil {
+					lastErr = err
+					c.failovers.Inc()
+				} else {
+					if a.hedge {
+						c.hedgeWins.Inc()
+					}
+					return a.res, a.idx, nil
+				}
+			case a.unitErr != nil:
+				// Deterministic refusal: the frame itself is the problem, so
+				// failover would only re-fail it N times. Let the supervisor's
+				// retry/quarantine path own it.
+				c.refused.Inc()
+				return nil, a.idx, a.unitErr
+			case errors.Is(a.dispErr, errDraining):
+				m.draining.Store(true)
+				c.logf("fabric: %s draining, failing over", m.name)
+				lastErr = a.dispErr
+				c.failovers.Inc()
+			default:
+				if err := ctx.Err(); err != nil {
+					// The transport error was our own cancellation, not the
+					// worker's death.
+					return nil, -1, err
+				}
+				c.markDown(m, a.dispErr)
+				lastErr = a.dispErr
+				c.failovers.Inc()
 			}
-			c.markDown(m, dispErr)
+			// This attempt failed. If a hedge (or the original) is still
+			// out, wait for it; otherwise move to the next candidate.
+			if inflight == 0 {
+				next := c.pick(u.Fingerprint, tried)
+				if next < 0 {
+					c.lost.Inc()
+					return nil, -1, resilience.WorkerLost(lastErr)
+				}
+				launch(next, false)
+			}
 		}
-		tried[idx] = true
-		lastErr = dispErr
-		c.failovers.Inc()
 	}
+}
+
+// hedgeDelay is the adaptive hedge deadline: the configured floor,
+// stretched to twice the fleet's successful-dispatch latency EWMA so a
+// slow-but-healthy fleet isn't double-dispatching every frame. 0 means
+// hedging is off.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	floor := c.cfg.HedgeAfter
+	if floor <= 0 {
+		return 0
+	}
+	if adaptive := 2 * time.Duration(c.latencyEWMA.Load()); adaptive > floor {
+		return adaptive
+	}
+	return floor
+}
+
+func (c *Coordinator) observeLatency(d time.Duration) {
+	for {
+		old := c.latencyEWMA.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = (7*old + uint64(d)) / 8
+		}
+		if c.latencyEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// errDigest marks a result whose canonical digest did not verify: a
+// corrupt delivery, not a dead worker — eligible for failover without
+// marking the worker down.
+var errDigest = errors.New("fabric: result digest mismatch")
+
+// verifyResult recomputes the result's canonical digest over what was
+// actually decoded and compares it to the digest the worker carried. A
+// mismatch (or a missing digest) fails verification, counts against the
+// worker's digest-failure budget, and quarantines it at the limit.
+func (c *Coordinator) verifyResult(m *member, u *WorkUnit, res *WorkResult) error {
+	want := res.ComputeDigest()
+	if res.Digest == want {
+		return nil
+	}
+	c.digestFailed.Inc()
+	limit := int64(c.cfg.DigestFailureLimit)
+	if limit == 0 {
+		limit = DefaultDigestFailureLimit
+	}
+	if fails := m.digestFails.Add(1); fails >= limit {
+		c.quarantine(m, fmt.Errorf("%d results failed digest verification", fails))
+	}
+	return fmt.Errorf("%w: %s frame %d carried %q, content digests to %q", errDigest, m.name, u.Frame, res.Digest, want)
+}
+
+// quarantine benches a worker permanently: marked down, excluded from
+// heartbeat resurrection, reflected in the quarantine gauge. Frames it
+// held fail over or requeue through the ordinary paths.
+func (c *Coordinator) quarantine(m *member, cause error) {
+	if m.quarantined.Swap(true) {
+		return
+	}
+	m.down.Store(true)
+	m.up.Set(0)
+	c.logf("fabric: %s QUARANTINED: %v", m.name, cause)
+	q := int64(0)
+	for _, o := range c.members {
+		if o.quarantined.Load() {
+			q++
+		}
+	}
+	c.quarantined.Set(q)
+	c.refreshLive()
 }
 
 // pick builds the candidate view (live, untried members) and asks the
@@ -275,8 +584,9 @@ var errDraining = errors.New("fabric: worker draining")
 
 // post sends one unit to one member. It returns exactly one of:
 // a result; a unit error (the worker deterministically refused this
-// unit — 4xx); a dispatch error (the worker is unreachable, dying or
-// draining — eligible for failover).
+// unit — 4xx); a dispatch error (the worker is unreachable, dying,
+// draining, or answered a body the coordinator won't trust — eligible
+// for failover).
 func (c *Coordinator) post(ctx context.Context, m *member, u *WorkUnit) (res *WorkResult, unitErr, dispErr error) {
 	m.inflight.Add(1)
 	m.load.Set(m.inflight.Load())
@@ -298,9 +608,16 @@ func (c *Coordinator) post(ctx context.Context, m *member, u *WorkUnit) (res *Wo
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	// Read one byte past the limit so an over-limit body is
+	// distinguishable from one that happens to decode badly after a
+	// silent cut: the former is the worker misbehaving (failover), not
+	// a malformed reply to puzzle over.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes+1))
 	if err != nil {
 		return nil, nil, fmt.Errorf("read response from %s: %w", m.name, err)
+	}
+	if len(raw) > maxResultBytes {
+		return nil, nil, fmt.Errorf("%s answered more than %d result bytes", m.name, maxResultBytes)
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
@@ -343,10 +660,15 @@ func (c *Coordinator) markDown(m *member, cause error) {
 
 // Probe health-checks every member once, synchronously: a reachable
 // worker comes (back) up with its draining flag refreshed, an
-// unreachable one goes down. The heartbeat loop calls this on its
-// cadence; tests and a heartbeat-disabled coordinator call it directly.
+// unreachable one goes down. Quarantined workers are never probed and
+// never resurrected — quarantine is a trust verdict, not a liveness
+// one. The heartbeat loop calls this on its cadence; tests and a
+// heartbeat-disabled coordinator call it directly.
 func (c *Coordinator) Probe(ctx context.Context) {
 	for _, m := range c.members {
+		if m.quarantined.Load() {
+			continue
+		}
 		h, err := c.probeOne(ctx, m)
 		if err != nil {
 			if !m.down.Swap(true) {
@@ -402,10 +724,10 @@ func (c *Coordinator) heartbeatLoop(interval time.Duration) {
 	defer t.Stop()
 	for {
 		select {
-		case <-c.stop:
+		case <-c.ctx.Done():
 			return
 		case <-t.C:
-			c.Probe(context.Background())
+			c.Probe(c.ctx)
 		}
 	}
 }

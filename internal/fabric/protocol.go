@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strings"
 
@@ -76,6 +77,34 @@ type WorkResult struct {
 	Frame int            `json:"frame"`
 	Stats tbr.FrameStats `json:"stats"`
 	Obs   *obs.Snapshot  `json:"obs,omitempty"`
+	// Digest is the result's canonical content digest (ComputeDigest),
+	// set by the worker. The coordinator recomputes it over what it
+	// decoded and treats any mismatch as a corrupt or untrustworthy
+	// delivery — the same CRC-envelope discipline resilience checkpoints
+	// use, extended over the wire.
+	Digest string `json:"digest,omitempty"`
+}
+
+// ComputeDigest returns the canonical digest of the result's content
+// (frame, stats, observability snapshot — everything except the digest
+// field itself): crc32 IEEE over the canonical JSON encoding. The
+// encoding round-trips losslessly — json.Marshal sorts map keys and
+// shortest-form floats re-encode byte-identically — so worker-side and
+// coordinator-side digests agree exactly when, and only when, the
+// decoded content matches what the worker computed.
+func (r *WorkResult) ComputeDigest() string {
+	payload := struct {
+		Frame int            `json:"frame"`
+		Stats tbr.FrameStats `json:"stats"`
+		Obs   *obs.Snapshot  `json:"obs,omitempty"`
+	}{r.Frame, r.Stats, r.Obs}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// Unreachable for the concrete field types; never collides with
+		// a real "crc32:%08x" digest.
+		return "crc32:unencodable"
+	}
+	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(b))
 }
 
 // DecodeWorkUnit reads, decodes and validates one work unit. Every

@@ -182,6 +182,7 @@ func (w *Worker) simulate(ctx context.Context, u *WorkUnit) (res *WorkResult, co
 	if u.Obs {
 		res.Obs = reg.Snapshot()
 	}
+	res.Digest = res.ComputeDigest()
 	w.reg.Merge(reg)
 	return res, http.StatusOK, nil
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 
 	"repro/internal/obs"
 	"repro/internal/tbr"
@@ -137,22 +139,65 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return &c, nil
 }
 
-// SaveCheckpoint atomically persists a checkpoint: the encoding is
-// written to a temporary sibling and renamed into place, so a reader
-// (or a resumed run after a crash mid-write) never observes a partial
-// file — it sees either the previous complete snapshot or the new one.
+// SaveCheckpoint atomically AND durably persists a checkpoint: the
+// encoding is written to a temporary sibling, fsynced, renamed into
+// place, and the parent directory fsynced — so a reader (or a resumed
+// run after a crash mid-write) never observes a partial file, and a
+// machine that loses power right after Save still finds the new
+// snapshot on disk. Without the syncs the rename is atomic in the
+// filesystem's cache but the data (or the directory entry) can
+// evaporate in a power cut, which is exactly the crash a checkpoint
+// exists for.
 func SaveCheckpoint(path string, c *Checkpoint) error {
 	data, err := EncodeCheckpoint(c)
 	if err != nil {
 		return fmt.Errorf("resilience: encode checkpoint: %w", err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("resilience: write checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("resilience: publish checkpoint: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("resilience: sync checkpoint dir: %w", err)
+	}
+	return nil
+}
+
+// writeFileSync writes data and fsyncs it before closing, so the bytes
+// are on disk before the rename can publish them.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// gracefully: the rename already happened, only the durability fence is
+// weaker.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

@@ -247,6 +247,11 @@ type Result struct {
 	// CheckpointPath is the checkpoint file the run maintained ("" if
 	// checkpointing was disabled).
 	CheckpointPath string
+	// CheckpointErr records the first checkpoint write/sync failure.
+	// The run degrades to continue-without-checkpoint rather than
+	// failing — losing durability must not abort the science — so this
+	// is the caller's only signal that a crash would now lose progress.
+	CheckpointErr error
 }
 
 // QuarantinedFrames returns the quarantined frame indices, ascending.

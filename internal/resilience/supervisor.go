@@ -53,16 +53,22 @@ func (s *runState) quarantine(q QuarantineRecord) {
 	s.persistLocked()
 }
 
-// persistLocked rewrites the checkpoint file (atomic tmp+rename). The
-// first write error is kept and surfaced at run end; later frames keep
-// simulating — losing checkpoint durability must not abort the science.
+// persistLocked rewrites the checkpoint file (atomic fsynced
+// tmp+rename). The first write/sync error degrades the run to
+// continue-without-checkpoint: it is kept for Result.CheckpointErr,
+// logged, counted, and checkpointing stops — later frames keep
+// simulating without re-attempting a disk that just failed. Losing
+// checkpoint durability must not abort the science.
 func (s *runState) persistLocked() {
-	if s.cfg.CheckpointPath == "" {
+	if s.cfg.CheckpointPath == "" || s.saveErr != nil {
 		return
 	}
-	if err := SaveCheckpoint(s.cfg.CheckpointPath, s.checkpointLocked()); err != nil && s.saveErr == nil {
+	if err := SaveCheckpoint(s.cfg.CheckpointPath, s.checkpointLocked()); err != nil {
 		s.saveErr = err
 		logf(s.cfg.Log, "resilience: checkpoint write failed (run continues unprotected): %v", err)
+		if s.cfg.Obs.Enabled() {
+			s.cfg.Obs.Counter("resilience.checkpoint_write_failed").Inc()
+		}
 	}
 }
 
@@ -367,11 +373,10 @@ func Run(ctx context.Context, frames []int, fn FrameFunc, cfg Config) (*Result, 
 		res.StalledWorkers = dog.stalled()
 	}
 
+	res.CheckpointErr = saveErr
+
 	if err := ctx.Err(); err != nil {
 		return res, err
-	}
-	if saveErr != nil {
-		return res, saveErr
 	}
 	return res, nil
 }

@@ -264,16 +264,29 @@ func TestRunPreQuarantineAndDegenerates(t *testing.T) {
 	}
 }
 
-func TestRunCheckpointWriteFailureSurfaces(t *testing.T) {
-	cfg := noBackoff(Config{CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "run.ckpt")})
+func TestRunCheckpointWriteFailureDegrades(t *testing.T) {
+	reg := obs.New()
+	cfg := noBackoff(Config{
+		CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "run.ckpt"),
+		Obs:            reg,
+	})
 	res, err := Run(context.Background(), []int{0, 1}, func(ctx context.Context, frame int, reg *obs.Registry) (tbr.FrameStats, error) {
 		return synthStats(frame), nil
 	}, cfg)
-	if err == nil {
-		t.Fatal("unwritable checkpoint path did not surface an error")
+	// The run degrades to continue-without-checkpoint: it succeeds, and
+	// the durability loss surfaces through Result.CheckpointErr plus the
+	// obs counter — not as a run failure.
+	if err != nil {
+		t.Fatalf("checkpoint write failure aborted the run: %v", err)
+	}
+	if res.CheckpointErr == nil {
+		t.Fatal("unwritable checkpoint path did not surface through CheckpointErr")
 	}
 	if len(res.Stats) != 2 {
-		t.Fatalf("run aborted on checkpoint failure: %d frames", len(res.Stats))
+		t.Fatalf("run degraded badly on checkpoint failure: %d frames", len(res.Stats))
+	}
+	if got := reg.Snapshot().Counters["resilience.checkpoint_write_failed"]; got != 1 {
+		t.Fatalf("checkpoint_write_failed counter = %d, want 1 (first failure disables checkpointing)", got)
 	}
 }
 
